@@ -1,0 +1,91 @@
+// Command chrono runs one chronological prediction (paper Figure 1b):
+// train the candidate models on a family's 2005 SPEC announcements and
+// predict its 2006 announcements.
+//
+// Usage:
+//
+//	chrono -family "Opteron 2"
+//	chrono -family Xeon -models all -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"perfpred"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chrono: ")
+	family := flag.String("family", "Opteron", "system family (see -list)")
+	modelsArg := flag.String("models", "figure", "comma-separated model kinds, 'figure' (the 9 of Figures 7-8) or 'all'")
+	seed := flag.Int64("seed", 1, "master seed")
+	workers := flag.Int("workers", 0, "parallel workers")
+	epochs := flag.Float64("epochs", 1.0, "neural epoch scale")
+	list := flag.Bool("list", false, "list available families and models")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("families:", strings.Join(perfpred.SPECFamilies(), ", "))
+		var names []string
+		for _, k := range perfpred.AllModels() {
+			names = append(names, k.String())
+		}
+		fmt.Println("models:", strings.Join(names, ", "))
+		return
+	}
+
+	var kinds []perfpred.ModelKind
+	switch *modelsArg {
+	case "figure":
+		kinds = perfpred.FigureModels()
+	case "all":
+		kinds = perfpred.AllModels()
+	default:
+		for _, part := range strings.Split(*modelsArg, ",") {
+			k, err := perfpred.ParseModelKind(strings.TrimSpace(part))
+			if err != nil {
+				log.Fatal(err)
+			}
+			kinds = append(kinds, k)
+		}
+	}
+
+	recs, err := perfpred.GenerateSPECData(*family, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, err := perfpred.SPECDataset(recs, 2005)
+	if err != nil {
+		log.Fatal(err)
+	}
+	future, err := perfpred.SPECDataset(recs, 2006)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: training on %d systems announced in 2005, predicting %d systems of 2006\n",
+		*family, train.Len(), future.Len())
+
+	res, err := perfpred.RunChronological(train, future, kinds, perfpred.TrainConfig{
+		Seed: *seed, Workers: *workers, EpochScale: *epochs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\terror%\t±stddev\testimate(max)")
+	for _, rep := range res.Reports {
+		fmt.Fprintf(tw, "%v\t%.2f\t%.2f\t%.2f\n", rep.Kind, rep.TrueMAPE, rep.StdAPE, rep.Estimate.Max)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest on 2006: %v (%.2f%%); selected from 2005 estimates alone: %v (%.2f%%)\n",
+		res.Best, res.BestTrueMAPE, res.Selected, res.SelectedTrueMAPE)
+}

@@ -1,0 +1,67 @@
+// Command chronoprobe runs the chronological 2005→2006 experiment for
+// every family across all nine models and prints the error table — the
+// calibration tool for the paper's Figures 7–8 and Table 2 shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"perfpred/internal/core"
+	"perfpred/internal/specdata"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chronoprobe: ")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	scale := flag.Float64("epochs", 1.0, "neural epoch scale")
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	header := "family\t"
+	for _, k := range core.FigureModels() {
+		header += k.String() + "\t"
+	}
+	header += "best\tpaper"
+	fmt.Fprintln(w, header)
+
+	paperBest := map[string]string{
+		"Xeon": "2.1 LR-E", "Pentium 4": "1.5 LR-E", "Pentium D": "2.2 LR-E",
+		"Opteron": "2.1 LR-B/S", "Opteron 2": "3.1 LR-B/S",
+		"Opteron 4": "3.2 LR-B/S", "Opteron 8": "3.5 LR-B/S",
+	}
+
+	for _, f := range specdata.Families() {
+		recs, err := specdata.Generate(f, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train, err := specdata.BuildDataset(recs, 2005)
+		if err != nil {
+			log.Fatal(err)
+		}
+		future, err := specdata.BuildDataset(recs, 2006)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.RunChronological(train, future, core.FigureModels(), core.TrainConfig{
+			Seed: *seed, EpochScale: *scale,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := f.Name + "\t"
+		for _, rep := range res.Reports {
+			line += fmt.Sprintf("%.1f±%.1f\t", rep.TrueMAPE, rep.StdAPE)
+		}
+		line += fmt.Sprintf("%.1f %s\t%s", res.BestTrueMAPE, res.Best, paperBest[f.Name])
+		fmt.Fprintln(w, line)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

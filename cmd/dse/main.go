@@ -1,0 +1,94 @@
+// Command dse runs one sampled design-space exploration (paper Figure 1a):
+// simulate the Table 1 design space for a benchmark, sample a fraction of
+// it, train the candidate models, estimate their errors by
+// cross-validation, pick the best, and report how well the chosen model
+// predicts the whole space.
+//
+// Usage:
+//
+//	dse -bench mcf -frac 0.01
+//	dse -bench gcc -frac 0.03 -models LR-B,NN-E,NN-S -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"perfpred"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dse: ")
+	bench := flag.String("bench", "mcf", "benchmark workload (see -list)")
+	frac := flag.Float64("frac", 0.01, "fraction of the design space to sample")
+	modelsArg := flag.String("models", "LR-B,NN-E,NN-S", "comma-separated model kinds (or 'all')")
+	seed := flag.Int64("seed", 1, "master seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	epochs := flag.Float64("epochs", 1.0, "neural epoch scale")
+	traceLen := flag.Int("tracelen", 0, "trace length override")
+	stride := flag.Int("stride", 0, "design-space stride (0 = full space)")
+	list := flag.Bool("list", false, "list available benchmarks and models")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", strings.Join(perfpred.Benchmarks(), ", "))
+		var names []string
+		for _, k := range perfpred.AllModels() {
+			names = append(names, k.String())
+		}
+		fmt.Println("models:", strings.Join(names, ", "))
+		return
+	}
+
+	kinds, err := parseModels(*modelsArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulating design space for %s...\n", *bench)
+	full, err := perfpred.SimulateDesignSpace(*bench, perfpred.SimOptions{
+		TraceLen: *traceLen, Seed: *seed, Workers: *workers, Stride: *stride,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("space: %d configurations; sampling %.1f%%\n", full.Len(), 100**frac)
+
+	res, err := perfpred.RunSampledDSE(full, *frac, kinds, perfpred.TrainConfig{
+		Seed: *seed, Workers: *workers, EpochScale: *epochs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\testimated(mean)\testimated(max)\ttrue error")
+	for _, rep := range res.Reports {
+		fmt.Fprintf(tw, "%v\t%.2f%%\t%.2f%%\t%.2f%%\n",
+			rep.Kind, rep.Estimate.Mean, rep.Estimate.Max, rep.TrueMAPE)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nselected (by estimate): %v — true error %.2f%% using %d simulated points of %d\n",
+		res.Selected, res.SelectedTrueMAPE, res.SampleSize, full.Len())
+}
+
+func parseModels(s string) ([]perfpred.ModelKind, error) {
+	if s == "all" {
+		return perfpred.AllModels(), nil
+	}
+	var kinds []perfpred.ModelKind
+	for _, part := range strings.Split(s, ",") {
+		k, err := perfpred.ParseModelKind(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}

@@ -1,0 +1,251 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section from scratch: synthetic workload + full design-space
+// simulation for the sampled-DSE studies (Figures 2–6, Table 3), synthetic
+// SPEC announcements + chronological prediction for Figures 7–8 and
+// Table 2, the §4.1 calibration statistics, and the §4.4 importance
+// analysis.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp figures2-6 -bench mcf -fracs 0.01,0.03,0.05
+//	experiments -exp table2 -seed 7
+//
+// Cost knobs: -tracelen and -stride shrink the simulated substrate;
+// -epochs scales neural training.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"perfpred/internal/core"
+	"perfpred/internal/experiments"
+	"perfpred/internal/space"
+	"perfpred/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	exp := flag.String("exp", "all", "experiment: table1|figures2-6|figure7|figure8|table2|table3|calibration|importance|perapp|rolling|crossfamily|ablations|learning|all")
+	bench := flag.String("bench", "", "restrict figures2-6 to one benchmark")
+	fracsArg := flag.String("fracs", "0.01,0.02,0.03,0.04,0.05", "sampling fractions for the sampled-DSE studies")
+	seed := flag.Int64("seed", 1, "master seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	epochs := flag.Float64("epochs", 1.0, "neural epoch scale")
+	traceLen := flag.Int("tracelen", 0, "trace length override (0 = per-benchmark recommendation)")
+	stride := flag.Int("stride", 0, "design-space stride (0 = full 4608 points)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:        *seed,
+		Workers:     *workers,
+		EpochScale:  *epochs,
+		TraceLen:    *traceLen,
+		SpaceStride: *stride,
+	}
+	fracs, err := parseFracs(*fracsArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error { return printTable1() })
+	run("calibration", func() error { return runCalibration(cfg) })
+	run("figures2-6", func() error { _, err := runFigures(cfg, fracs, *bench, true); return err })
+	run("table3", func() error {
+		studies, err := runFigures(cfg, fracs, *bench, false)
+		if err != nil {
+			return err
+		}
+		t3, err := experiments.ComputeTable3(studies)
+		if err != nil {
+			return err
+		}
+		if err := t3.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("paper Table 3 reference:")
+		paper := experiments.PaperTable3()
+		for _, k := range []string{"LR-B", "NN-E", "NN-S", "Select"} {
+			fmt.Printf("  %-6s %v\n", k, paper[k])
+		}
+		return nil
+	})
+	run("figure7", func() error {
+		return runChrono(cfg, []string{"Xeon", "Pentium 4", "Pentium D"})
+	})
+	run("figure8", func() error {
+		return runChrono(cfg, []string{"Opteron", "Opteron 2", "Opteron 4", "Opteron 8"})
+	})
+	run("table2", func() error {
+		t2, err := experiments.RunTable2(core.FigureModels(), cfg)
+		if err != nil {
+			return err
+		}
+		return t2.WriteText(os.Stdout)
+	})
+	run("perapp", func() error {
+		s, err := experiments.RunPerAppChrono("Pentium D", core.FigureModels(), cfg)
+		if err != nil {
+			return err
+		}
+		return s.WriteText(os.Stdout)
+	})
+	run("rolling", func() error {
+		for _, fam := range []string{"Opteron 2", "Xeon"} {
+			s, err := experiments.RunRollingChrono(fam, core.FigureModels(), cfg)
+			if err != nil {
+				return err
+			}
+			if err := s.WriteText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+	run("crossfamily", func() error {
+		r, err := experiments.RunCrossFamily("Xeon", "Opteron", core.LRE, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cross-family check (why the paper analyzes families separately):\n")
+		fmt.Printf("  LR-E trained on %s 2005: %.2f%% error within family (2006), %.2f%% on %s systems\n",
+			r.TrainFamily, r.WithinTrue, r.CrossTrue, r.TestFamily)
+		return nil
+	})
+	run("ablations", func() error {
+		sel, err := experiments.RunSelectAblation("mcf", 0.02, core.SampledModels(), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Select criterion ablation (mcf @ 2%%): max-fold pick %v → %.2f%%, mean-fold pick %v → %.2f%%, oracle %.2f%%\n",
+			sel.MaxPick, sel.MaxTrue, sel.MeanPick, sel.MeanTrue, sel.BestTrue)
+		smp, err := experiments.RunSamplingAblation("gcc", 0.02, core.NNE, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Sampling ablation (gcc @ 2%%, NN-E): random %.2f%%, systematic %.2f%%\n",
+			smp.RandomTrue, smp.SystematicTrue)
+		return nil
+	})
+	run("learning", func() error {
+		lc, err := experiments.RunLearningCurve("mcf", core.NNE,
+			[]float64{0.005, 0.01, 0.02, 0.04, 0.08}, cfg)
+		if err != nil {
+			return err
+		}
+		return lc.WriteText(os.Stdout)
+	})
+	run("importance", func() error {
+		for _, fam := range []string{"Opteron", "Pentium D"} {
+			rep, err := experiments.RunImportance(fam, cfg)
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+}
+
+func parseFracs(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fraction %q: %w", part, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func printTable1() error {
+	fmt.Printf("Table 1: microprocessor design space — %d configurations per benchmark\n", space.SpaceSize)
+	fmt.Println("parameters: L1D {16,32,64}KB × {32,64}B lines, L1I {16,32,64}KB × {32,64}B lines,")
+	fmt.Println("  L2 {256KB/4-way, 1MB/8-way}, L3 {none, 8MB/256B/8-way},")
+	fmt.Println("  branch predictor {perfect, bimodal, 2level, combination},")
+	fmt.Println("  width+FUs {4 / 4-2-2-4-2, 8 / 8-4-4-8-4}, wrong-path issue {no, yes},")
+	fmt.Println("  window {RUU 128/LSQ 64/ITLB 256KB/DTLB 512KB, RUU 256/LSQ 128/ITLB 1MB/DTLB 2MB}")
+	fmt.Println("benchmarks:", strings.Join(benchNames(), ", "))
+	return nil
+}
+
+func benchNames() []string {
+	var out []string
+	for _, p := range trace.Profiles() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+func runCalibration(cfg experiments.Config) error {
+	micro, err := experiments.RunMicroCalibration(cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteCalibration(os.Stdout, "Simulation statistics (§4.1)", micro); err != nil {
+		return err
+	}
+	specRows, err := experiments.RunSpecCalibration(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.WriteCalibration(os.Stdout, "SPEC family statistics (§4.1)", specRows)
+}
+
+func runFigures(cfg experiments.Config, fracs []float64, bench string, print bool) ([]*experiments.SampledStudy, error) {
+	benches := []string{"applu", "equake", "gcc", "mesa", "mcf"}
+	if bench != "" {
+		benches = []string{bench}
+	}
+	var studies []*experiments.SampledStudy
+	for i, b := range benches {
+		s, err := experiments.RunSampledStudy(b, fracs, core.SampledModels(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		studies = append(studies, s)
+		if print {
+			fmt.Printf("Figure %d:\n", 2+i)
+			if err := s.WriteText(os.Stdout); err != nil {
+				return nil, err
+			}
+			fmt.Println()
+		}
+	}
+	return studies, nil
+}
+
+func runChrono(cfg experiments.Config, families []string) error {
+	for _, fam := range families {
+		s, err := experiments.RunChronoStudy(fam, core.FigureModels(), cfg)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

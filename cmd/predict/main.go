@@ -1,0 +1,162 @@
+// Command predict trains a surrogate model and persists it, or loads a
+// persisted surrogate and scores a CSV of configurations — the
+// train-once / predict-forever workflow a design team would actually use.
+//
+// Train and save:
+//
+//	predict -train -bench mcf -model NN-E -frac 0.02 -out mcf-nne.json
+//
+// Load and score (CSV in the format written by specgen / Dataset.WriteCSV;
+// the target column is used only to report the error):
+//
+//	specgen -family "Pentium D" > pd.csv
+//	predict -train -family "Pentium D" -model LR-E -out pd-lre.json
+//	predict -model-file pd-lre.json -csv pd.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"perfpred"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("predict: ")
+	train := flag.Bool("train", false, "train a new model")
+	bench := flag.String("bench", "", "design-space benchmark to train on (sampled DSE)")
+	family := flag.String("family", "", "SPEC family to train on (2005 announcements)")
+	model := flag.String("model", "NN-E", "model kind")
+	frac := flag.Float64("frac", 0.02, "design-space sampling fraction (with -bench)")
+	out := flag.String("out", "model.json", "output path for the trained model")
+	modelFile := flag.String("model-file", "", "persisted model to load")
+	csvPath := flag.String("csv", "", "CSV of configurations to score")
+	seed := flag.Int64("seed", 1, "seed")
+	stride := flag.Int("stride", 11, "design-space stride during training (with -bench)")
+	flag.Parse()
+
+	switch {
+	case *train:
+		if err := trainAndSave(*bench, *family, *model, *frac, *out, *seed, *stride); err != nil {
+			log.Fatal(err)
+		}
+	case *modelFile != "" && *csvPath != "":
+		if err := loadAndScore(*modelFile, *csvPath); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("use -train (with -bench or -family) or -model-file FILE -csv FILE")
+	}
+}
+
+func trainAndSave(bench, family, model string, frac float64, out string, seed int64, stride int) error {
+	kind, err := perfpred.ParseModelKind(model)
+	if err != nil {
+		return err
+	}
+	var ds *perfpred.Dataset
+	switch {
+	case bench != "":
+		full, err := perfpred.SimulateDesignSpace(bench, perfpred.SimOptions{Seed: seed, Stride: stride})
+		if err != nil {
+			return err
+		}
+		sampled, err := perfpred.RunSampledDSE(full, frac, []perfpred.ModelKind{kind}, perfpred.TrainConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		rep := sampled.Reports[0]
+		fmt.Printf("trained %v on %d of %d simulated points; true error %.2f%%\n",
+			kind, sampled.SampleSize, full.Len(), rep.TrueMAPE)
+		return save(rep.Predictor, out)
+	case family != "":
+		recs, err := perfpred.GenerateSPECData(family, seed)
+		if err != nil {
+			return err
+		}
+		if ds, err = perfpred.SPECDataset(recs, 2005); err != nil {
+			return err
+		}
+		p, err := perfpred.Train(kind, ds, perfpred.TrainConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trained %v on %d announcements of 2005\n", kind, ds.Len())
+		return save(p, out)
+	default:
+		return fmt.Errorf("-train needs -bench or -family")
+	}
+}
+
+func save(p *perfpred.Predictor, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("saved model to", path)
+	return nil
+}
+
+func loadAndScore(modelPath, csvPath string) error {
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	p, err := perfpred.LoadPredictor(mf)
+	if err != nil {
+		return err
+	}
+	cf, err := os.Open(csvPath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	ds, err := perfpred.ReadDatasetCSV(cf, p.Encoder().Schema())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %v model; scoring %d configurations from %s\n\n", p.Kind(), ds.Len(), csvPath)
+	sumAPE := 0.0
+	show := ds.Len()
+	if show > 10 {
+		show = 10
+	}
+	for i := 0; i < ds.Len(); i++ {
+		yhat, err := p.Predict(ds.Row(i))
+		if err != nil {
+			return err
+		}
+		y := ds.Target(i)
+		ape := 0.0
+		if y != 0 {
+			ape = 100 * abs(yhat-y) / abs(y)
+		}
+		sumAPE += ape
+		if i < show {
+			fmt.Printf("  #%-4d predicted %10.2f   actual %10.2f   error %5.2f%%\n", i, yhat, y, ape)
+		}
+	}
+	if ds.Len() > show {
+		fmt.Printf("  ... %d more\n", ds.Len()-show)
+	}
+	fmt.Printf("\nmean absolute percentage error: %.2f%%\n", sumAPE/float64(ds.Len()))
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

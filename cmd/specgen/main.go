@@ -1,0 +1,110 @@
+// Command specgen emits the synthetic SPEC announcement database as CSV —
+// one file per family or a single family to stdout — so the chronological
+// experiments' raw material can be inspected or consumed by other tools.
+//
+// Usage:
+//
+//	specgen -family "Pentium D"            # CSV to stdout
+//	specgen -all -dir ./specdata-out       # one CSV per family
+//	specgen -family Xeon -stats            # §4.1-style statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"perfpred"
+	"perfpred/internal/specdata"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specgen: ")
+	family := flag.String("family", "", "family to emit (see perfpred.SPECFamilies)")
+	all := flag.Bool("all", false, "emit every family")
+	dir := flag.String("dir", ".", "output directory for -all")
+	seed := flag.Int64("seed", 1, "generation seed")
+	stats := flag.Bool("stats", false, "print §4.1 statistics instead of CSV")
+	flag.Parse()
+
+	switch {
+	case *all:
+		for _, name := range perfpred.SPECFamilies() {
+			fname := filepath.Join(*dir, "spec_"+sanitize(name)+".csv")
+			if err := writeFamily(name, *seed, fname); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", fname)
+		}
+	case *family != "":
+		if *stats {
+			if err := printStats(*family, *seed); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if err := emitFamily(*family, *seed, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("need -family NAME or -all (families: " + strings.Join(perfpred.SPECFamilies(), ", ") + ")")
+	}
+}
+
+func sanitize(s string) string {
+	return strings.ReplaceAll(strings.ToLower(s), " ", "_")
+}
+
+func writeFamily(name string, seed int64, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := emitFamily(name, seed, f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func emitFamily(name string, seed int64, out *os.File) error {
+	recs, err := perfpred.GenerateSPECData(name, seed)
+	if err != nil {
+		return err
+	}
+	ds, err := perfpred.SPECDataset(recs)
+	if err != nil {
+		return err
+	}
+	return ds.WriteCSV(out)
+}
+
+func printStats(name string, seed int64) error {
+	fam, err := specdata.FamilyByName(name)
+	if err != nil {
+		return err
+	}
+	recs, err := specdata.Generate(fam, seed)
+	if err != nil {
+		return err
+	}
+	n, rng, nvar, err := specdata.FamilyStatistics(recs)
+	if err != nil {
+		return err
+	}
+	_, pr, pv := fam.PaperStats()
+	fmt.Printf("%s: %d records, range %.2f (paper %.2f), normalized variance %.3f (paper %.2f)\n",
+		name, n, rng, pr, nvar, pv)
+	byYear := map[int]int{}
+	for _, r := range recs {
+		byYear[r.Year]++
+	}
+	for _, y := range fam.Years() {
+		fmt.Printf("  %d: %d announcements\n", y, byYear[y])
+	}
+	return nil
+}

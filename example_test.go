@@ -1,0 +1,91 @@
+package perfpred_test
+
+import (
+	"fmt"
+	"log"
+
+	"perfpred"
+)
+
+// ExampleRunSampledDSE demonstrates the paper's Figure 1a workflow: sample
+// a design space, train candidate models, and let cross-validated
+// estimates pick the surrogate.
+func ExampleRunSampledDSE() {
+	full, err := perfpred.SimulateDesignSpace("applu", perfpred.SimOptions{
+		TraceLen: 60_000, // tiny trace keeps the example fast
+		Stride:   48,     // systematic 96-point slice of the 4608-point space
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := perfpred.RunSampledDSE(full, 0.25, []perfpred.ModelKind{perfpred.LRB, perfpred.NNS},
+		perfpred.TrainConfig{Seed: 1, EpochScale: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d of %d points\n", res.SampleSize, full.Len())
+	// Output:
+	// trained on 24 of 96 points
+}
+
+// ExampleRunChronological demonstrates the paper's Figure 1b workflow:
+// train on 2005 announcements, predict 2006.
+func ExampleRunChronological() {
+	recs, err := perfpred.GenerateSPECData("Pentium D", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, err := perfpred.SPECDataset(recs, 2005)
+	if err != nil {
+		log.Fatal(err)
+	}
+	future, err := perfpred.SPECDataset(recs, 2006)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := perfpred.RunChronological(train, future, []perfpred.ModelKind{perfpred.LRE},
+		perfpred.TrainConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LR-E predicted %d future systems (error under 5%%: %v)\n",
+		future.Len(), res.BestTrueMAPE < 5)
+	// Output:
+	// LR-E predicted 35 future systems (error under 5%: true)
+}
+
+// ExampleTrain demonstrates bringing your own design space to the library.
+func ExampleTrain() {
+	schema, err := perfpred.NewSchema("latency_ms",
+		perfpred.Field{Name: "threads", Kind: perfpred.Numeric},
+		perfpred.Field{Name: "pinned", Kind: perfpred.Flag},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := perfpred.NewDataset(schema)
+	for threads := 1.0; threads <= 16; threads++ {
+		for _, pinned := range []bool{false, true} {
+			y := 160/threads + 4
+			if pinned {
+				y *= 0.9
+			}
+			if err := ds.Append([]perfpred.Value{
+				perfpred.Num(threads), perfpred.FlagVal(pinned),
+			}, y); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	p, err := perfpred.Train(perfpred.NNQ, ds, perfpred.TrainConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	yhat, err := p.Predict([]perfpred.Value{perfpred.Num(8), perfpred.FlagVal(true)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted latency within 25%% of truth: %v\n", yhat > 16 && yhat < 27)
+	// Output:
+	// predicted latency within 25% of truth: true
+}

@@ -1,0 +1,65 @@
+// Quickstart: predict the performance of an entire microprocessor design
+// space from a 5 % sample.
+//
+// The program simulates a systematic slice of the paper's 4608-point
+// Table 1 design space for the mcf workload, trains the three headline
+// models (LR-B, NN-E, NN-S) on a small random sample, picks the best model
+// by cross-validated estimate alone, and reports how well it predicts
+// every configuration it never saw.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfpred"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Ground truth: simulate a slice of the design space (stride 11
+	// keeps the demo fast; drop Stride for the full 4608 points).
+	fmt.Println("simulating design space for mcf (this is the expensive step the models avoid)...")
+	full, err := perfpred.SimulateDesignSpace("mcf", perfpred.SimOptions{
+		TraceLen: 300_000,
+		Stride:   11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d configurations simulated\n\n", full.Len())
+
+	// 2. Sampled design-space exploration: 5 % of the space is "built or
+	// simulated", the rest is predicted.
+	res, err := perfpred.RunSampledDSE(full, 0.05, perfpred.SampledModels(), perfpred.TrainConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("trained on %d of %d points (5%%):\n\n", res.SampleSize, full.Len())
+	fmt.Printf("  %-6s %12s %12s\n", "model", "estimated%", "true%")
+	for _, rep := range res.Reports {
+		fmt.Printf("  %-6v %12.2f %12.2f\n", rep.Kind, rep.Estimate.Max, rep.TrueMAPE)
+	}
+	fmt.Printf("\nselected by estimate alone: %v → %.2f%% error over the whole space\n",
+		res.Selected, res.SelectedTrueMAPE)
+
+	// 3. Use the winning model as a surrogate: score a configuration that
+	// was never simulated.
+	var winner *perfpred.Predictor
+	for _, rep := range res.Reports {
+		if rep.Kind == res.Selected {
+			winner = rep.Predictor
+		}
+	}
+	cfg := perfpred.MicroDesignSpace()[1234]
+	pred, err := winner.Predict(cfg.Row())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsurrogate prediction for configuration #1234 (%v, width %d, L2 %dKB): %.0f cycles\n",
+		cfg.BPred, cfg.Width, cfg.L2SizeKB, pred)
+}

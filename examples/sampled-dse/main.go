@@ -1,0 +1,54 @@
+// Sampled design-space exploration study: reproduce one of the paper's
+// Figures 2–6 panels for a chosen benchmark — estimated vs. true error for
+// LR-B, NN-E and NN-S as the sampling rate grows from 1 % to 5 % of the
+// 4608-point design space.
+//
+//	go run ./examples/sampled-dse            # mcf, full fidelity
+//	go run ./examples/sampled-dse gcc        # another benchmark
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perfpred"
+)
+
+func main() {
+	log.SetFlags(0)
+	bench := "mcf"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+
+	fmt.Printf("simulating the full 4608-point design space for %s...\n", bench)
+	full, err := perfpred.SimulateDesignSpace(bench, perfpred.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nModel Error - %s (cf. paper Figures 2-6)\n", bench)
+	fmt.Printf("%-8s", "sample%")
+	for _, k := range perfpred.SampledModels() {
+		fmt.Printf("%10s%14s", k, k.String()+"-est")
+	}
+	fmt.Printf("%10s\n", "Select")
+
+	for _, frac := range []float64{0.01, 0.02, 0.03, 0.04, 0.05} {
+		res, err := perfpred.RunSampledDSE(full, frac, perfpred.SampledModels(), perfpred.TrainConfig{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.0f", 100*frac)
+		for _, rep := range res.Reports {
+			fmt.Printf("%9.2f%%%13.2f%%", rep.TrueMAPE, rep.Estimate.Max)
+		}
+		fmt.Printf("%9.2f%% (%v)\n", res.SelectedTrueMAPE, res.Selected)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - neural models beat linear regression on this nonlinear space (paper §4.2)")
+	fmt.Println("  - errors fall as the sample grows; LR-B stays nearly flat")
+	fmt.Println("  - 'Select' picks its model from cross-validated estimates alone")
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"perfpred/internal/dataset"
+)
+
+// synthSpace builds a synthetic "design space" dataset with a nonlinear
+// target over numeric/flag/categorical fields.
+func synthSpace(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	s, err := dataset.NewSchema("cycles",
+		dataset.Field{Name: "size", Kind: dataset.Numeric},
+		dataset.Field{Name: "width", Kind: dataset.Numeric},
+		dataset.Field{Name: "fast", Kind: dataset.Flag},
+		dataset.Field{Name: "pred", Kind: dataset.Categorical, NumericLevels: map[string]float64{
+			"weak": 1, "strong": 2,
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dataset.New(s)
+	r := rand.New(rand.NewSource(seed))
+	preds := []string{"weak", "strong"}
+	for i := 0; i < n; i++ {
+		size := 16 + float64(r.Intn(5))*16
+		width := float64(2 + r.Intn(4)*2)
+		fast := r.Intn(2) == 0
+		pk := preds[r.Intn(2)]
+		y := 10000/width + 2000*math.Exp(-size/32) // nonlinear interactions
+		if fast {
+			y *= 0.9
+		}
+		if pk == "strong" {
+			y *= 0.85
+		}
+		err := d.Append([]dataset.Value{
+			dataset.Num(size), dataset.Num(width), dataset.FlagVal(fast), dataset.Cat(pk),
+		}, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func quickCfg() TrainConfig {
+	return TrainConfig{Seed: 9, Workers: 4, EpochScale: 0.3}
+}
+
+func TestModelKindStrings(t *testing.T) {
+	want := map[ModelKind]string{
+		LRE: "LR-E", LRS: "LR-S", LRB: "LR-B", LRF: "LR-F",
+		NNQ: "NN-Q", NND: "NN-D", NNM: "NN-M", NNP: "NN-P", NNE: "NN-E", NNS: "NN-S",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+		back, err := ParseModelKind(s)
+		if err != nil || back != k {
+			t.Errorf("ParseModelKind(%q) = %v, %v", s, back, err)
+		}
+	}
+	if _, err := ParseModelKind("SVM"); err == nil {
+		t.Fatal("unknown kind: want error")
+	}
+	if len(AllModels()) != 10 || len(FigureModels()) != 9 || len(SampledModels()) != 3 {
+		t.Fatal("model list sizes wrong")
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	for _, k := range []ModelKind{LRE, LRS, LRB, LRF} {
+		if k.IsNeural() {
+			t.Errorf("%v should not be neural", k)
+		}
+		if _, ok := k.lrMethod(); !ok {
+			t.Errorf("%v should map to an LR method", k)
+		}
+	}
+	for _, k := range []ModelKind{NNQ, NND, NNM, NNP, NNE, NNS} {
+		if !k.IsNeural() {
+			t.Errorf("%v should be neural", k)
+		}
+		if _, ok := k.nnMethod(); !ok {
+			t.Errorf("%v should map to an NN method", k)
+		}
+	}
+}
+
+func TestTrainAllKindsAndPredict(t *testing.T) {
+	train := synthSpace(t, 150, 1)
+	test := synthSpace(t, 150, 2)
+	for _, k := range AllModels() {
+		p, err := Train(k, train, quickCfg())
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if p.Kind() != k {
+			t.Fatalf("%v: kind mismatch", k)
+		}
+		mape, std, err := p.Evaluate(test)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if mape <= 0 || mape > 60 {
+			t.Errorf("%v: implausible MAPE %.2f", k, mape)
+		}
+		if std < 0 {
+			t.Errorf("%v: negative std", k)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(LRE, nil, quickCfg()); err == nil {
+		t.Fatal("nil dataset: want error")
+	}
+	if _, err := Train(ModelKind(99), synthSpace(t, 20, 3), quickCfg()); err == nil {
+		t.Fatal("unknown kind: want error")
+	}
+}
+
+func TestPredictSingleRecord(t *testing.T) {
+	train := synthSpace(t, 200, 4)
+	p, err := Train(NNQ, train, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := train.Row(0)
+	got, err := p.Predict(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := train.Target(0)
+	if math.Abs(got-want)/want > 0.5 {
+		t.Fatalf("prediction %v wildly off target %v", got, want)
+	}
+	batch, err := p.PredictDataset(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0] != got {
+		t.Fatal("PredictDataset disagrees with Predict")
+	}
+}
+
+func TestEstimateError(t *testing.T) {
+	train := synthSpace(t, 120, 5)
+	est, err := EstimateError(LRB, train, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.PerFold) != 5 {
+		t.Fatalf("folds = %d, want 5 (paper §3.3)", len(est.PerFold))
+	}
+	if est.Max < est.Mean {
+		t.Fatalf("max %v < mean %v", est.Max, est.Mean)
+	}
+	for _, f := range est.PerFold {
+		if f <= 0 || f > 100 {
+			t.Fatalf("fold error %v implausible", f)
+		}
+	}
+}
+
+func TestEstimateErrorDeterministic(t *testing.T) {
+	train := synthSpace(t, 100, 6)
+	a, err := EstimateError(NNS, train, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateError(NNS, train, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerFold {
+		if a.PerFold[i] != b.PerFold[i] {
+			t.Fatal("estimate not deterministic")
+		}
+	}
+}
+
+func TestEstimateErrorTooSmall(t *testing.T) {
+	if _, err := EstimateError(LRE, synthSpace(t, 3, 7), quickCfg()); err == nil {
+		t.Fatal("tiny dataset: want error")
+	}
+}
+
+func TestRunSampledDSE(t *testing.T) {
+	full := synthSpace(t, 1200, 8)
+	kinds := []ModelKind{LRB, NNQ, NNS}
+	res, err := RunSampledDSE(full, 0.05, kinds, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleSize != 60 {
+		t.Fatalf("sample size %d", res.SampleSize)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("%d reports", len(res.Reports))
+	}
+	for i, rep := range res.Reports {
+		if rep.Kind != kinds[i] {
+			t.Fatal("report order mismatch")
+		}
+		if rep.TrueMAPE <= 0 {
+			t.Fatalf("%v: TrueMAPE %v", rep.Kind, rep.TrueMAPE)
+		}
+		if rep.Estimate.Max <= 0 {
+			t.Fatalf("%v: no estimate", rep.Kind)
+		}
+		if rep.Predictor == nil {
+			t.Fatalf("%v: missing predictor", rep.Kind)
+		}
+	}
+	// The selected model's true error should be near the best true error
+	// (the Select rule works through estimates).
+	bestTrue := math.Inf(1)
+	for _, rep := range res.Reports {
+		if rep.TrueMAPE < bestTrue {
+			bestTrue = rep.TrueMAPE
+		}
+	}
+	if res.SelectedTrueMAPE > 3*bestTrue+2 {
+		t.Fatalf("select picked badly: %v vs best %v", res.SelectedTrueMAPE, bestTrue)
+	}
+}
+
+func TestRunSampledDSENNBeatsLROnNonlinearSurface(t *testing.T) {
+	full := synthSpace(t, 1500, 9)
+	res, err := RunSampledDSE(full, 0.1, []ModelKind{LRB, NNM}, TrainConfig{Seed: 3, Workers: 4, EpochScale: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr, nn float64
+	for _, rep := range res.Reports {
+		if rep.Kind == LRB {
+			lr = rep.TrueMAPE
+		} else {
+			nn = rep.TrueMAPE
+		}
+	}
+	if nn >= lr {
+		t.Fatalf("NN (%v) should beat LR (%v) on a nonlinear space (paper §4.2)", nn, lr)
+	}
+}
+
+func TestRunSampledDSEErrors(t *testing.T) {
+	full := synthSpace(t, 100, 10)
+	if _, err := RunSampledDSE(nil, 0.1, []ModelKind{LRE}, quickCfg()); err == nil {
+		t.Fatal("nil space: want error")
+	}
+	if _, err := RunSampledDSE(full, 0.1, nil, quickCfg()); err == nil {
+		t.Fatal("no kinds: want error")
+	}
+	if _, err := RunSampledDSE(full, 0, []ModelKind{LRE}, quickCfg()); err == nil {
+		t.Fatal("zero fraction: want error")
+	}
+}
+
+func TestRunChronological(t *testing.T) {
+	train := synthSpace(t, 200, 11)
+	future := synthSpace(t, 200, 12)
+	kinds := []ModelKind{LRE, LRB, NNS}
+	res, err := RunChronological(train, future, kinds, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("%d reports", len(res.Reports))
+	}
+	bestSeen := math.Inf(1)
+	for _, rep := range res.Reports {
+		if rep.TrueMAPE < bestSeen {
+			bestSeen = rep.TrueMAPE
+		}
+	}
+	if res.BestTrueMAPE != bestSeen {
+		t.Fatalf("Best %v is not the minimum %v", res.BestTrueMAPE, bestSeen)
+	}
+	if res.Selected.String() == "" || res.SelectedTrueMAPE <= 0 {
+		t.Fatal("select did not resolve")
+	}
+}
+
+func TestRunChronologicalErrors(t *testing.T) {
+	train := synthSpace(t, 100, 13)
+	if _, err := RunChronological(train, nil, []ModelKind{LRE}, quickCfg()); err == nil {
+		t.Fatal("nil future: want error")
+	}
+	if _, err := RunChronological(nil, train, []ModelKind{LRE}, quickCfg()); err == nil {
+		t.Fatal("nil train: want error")
+	}
+	if _, err := RunChronological(train, train, nil, quickCfg()); err == nil {
+		t.Fatal("no kinds: want error")
+	}
+}
+
+func TestImportancesLRAndNN(t *testing.T) {
+	// Target dominated by width; size secondary.
+	train := synthSpace(t, 400, 14)
+	for _, k := range []ModelKind{LRE, NNQ} {
+		p, err := Train(k, train, TrainConfig{Seed: 5, Workers: 4, EpochScale: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		imps, err := p.Importances(train)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if len(imps) == 0 {
+			t.Fatalf("%v: no importances", k)
+		}
+		if imps[0].Field != "width" {
+			t.Errorf("%v: top field %q, want width (dominant factor)", k, imps[0].Field)
+		}
+		for i := 1; i < len(imps); i++ {
+			if imps[i].Score > imps[i-1].Score {
+				t.Fatalf("%v: importances not sorted", k)
+			}
+		}
+	}
+}
+
+func TestImportancesErrors(t *testing.T) {
+	p, err := Train(LRE, synthSpace(t, 50, 15), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Importances(nil); err == nil {
+		t.Fatal("nil probe: want error")
+	}
+}
+
+func TestSelectedPredictors(t *testing.T) {
+	train := synthSpace(t, 200, 16)
+	lr, err := Train(LRB, train, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := lr.SelectedPredictors()
+	if len(sel) == 0 {
+		t.Fatal("backward LR kept nothing on a real relationship")
+	}
+	nn, err := Train(NNS, train, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn.SelectedPredictors()) == 0 {
+		t.Fatal("NN should report live input fields")
+	}
+}
+
+func TestEvaluateEmptyDataset(t *testing.T) {
+	p, err := Train(LRE, synthSpace(t, 50, 17), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Evaluate(nil); err == nil {
+		t.Fatal("nil eval set: want error")
+	}
+}
+
+// TestWorkflowDeterministicAcrossWorkers guards the repo-wide guarantee:
+// results are identical regardless of parallelism.
+func TestWorkflowDeterministicAcrossWorkers(t *testing.T) {
+	full := synthSpace(t, 600, 31)
+	kinds := []ModelKind{LRB, NNS, NNQ}
+	run := func(workers int) *SampledDSEResult {
+		res, err := RunSampledDSE(full, 0.1, kinds, TrainConfig{Seed: 5, Workers: workers, EpochScale: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if a.Selected != b.Selected || a.SelectedTrueMAPE != b.SelectedTrueMAPE {
+		t.Fatalf("selection differs across worker counts: %+v vs %+v", a.Selected, b.Selected)
+	}
+	for i := range a.Reports {
+		if a.Reports[i].TrueMAPE != b.Reports[i].TrueMAPE {
+			t.Fatalf("%v: true error differs across worker counts", a.Reports[i].Kind)
+		}
+		if a.Reports[i].Estimate.Max != b.Reports[i].Estimate.Max {
+			t.Fatalf("%v: estimate differs across worker counts", a.Reports[i].Kind)
+		}
+	}
+}
+
+func TestPredictorEncoderAccessor(t *testing.T) {
+	train := synthSpace(t, 60, 32)
+	p, err := Train(LRE, train, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Encoder() == nil || p.Encoder().Schema().Target != "cycles" {
+		t.Fatal("encoder accessor broken")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/stat"
+)
+
+// ErrorEstimate is the predicted generalization error of a model obtained
+// by cross-validation before any test data is seen (paper §3.3).
+type ErrorEstimate struct {
+	// Mean is the average cross-validated MAPE over the folds.
+	Mean float64
+	// Max is the worst fold's MAPE. The paper found the maximum to be the
+	// closer estimate of the true error and uses it for model selection.
+	Max float64
+	// PerFold lists each fold's MAPE.
+	PerFold []float64
+}
+
+// estimateFolds is the paper's fold count: "we have generated five random
+// sets of 50% of the training data" (§3.3).
+const estimateFolds = 5
+
+// EstimateError estimates a model kind's predictive error on the training
+// data by the paper's procedure: five times, split the training data into
+// random halves, train on one half and measure MAPE on the other. Folds
+// run in parallel; the result is deterministic for a given seed.
+func EstimateError(kind ModelKind, train *dataset.Dataset, cfg TrainConfig) (ErrorEstimate, error) {
+	if train == nil || train.Len() < 4 {
+		return ErrorEstimate{}, errors.New("core: need at least 4 records to estimate error")
+	}
+	perFold := make([]float64, estimateFolds)
+	errs := make([]error, estimateFolds)
+	var wg sync.WaitGroup
+	workers := cfg.workers()
+	if workers > estimateFolds {
+		workers = estimateFolds
+	}
+	sem := make(chan struct{}, workers)
+	for fold := 0; fold < estimateFolds; fold++ {
+		wg.Add(1)
+		go func(fold int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			foldSeed := stat.DeriveSeed(cfg.Seed, 7000+fold)
+			half, rest, err := train.SplitHalf(stat.NewRand(foldSeed))
+			if err != nil {
+				errs[fold] = err
+				return
+			}
+			foldCfg := cfg
+			foldCfg.Seed = stat.DeriveSeed(foldSeed, 1)
+			foldCfg.Workers = 1 // parallelism lives at the fold level here
+			p, err := Train(kind, half, foldCfg)
+			if err != nil {
+				errs[fold] = err
+				return
+			}
+			mape, _, err := p.Evaluate(rest)
+			if err != nil {
+				errs[fold] = err
+				return
+			}
+			perFold[fold] = mape
+		}(fold)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ErrorEstimate{}, err
+		}
+	}
+	est := ErrorEstimate{PerFold: perFold}
+	est.Mean = stat.Mean(perFold)
+	mx, err := stat.Max(perFold)
+	if err != nil {
+		return ErrorEstimate{}, err
+	}
+	est.Max = mx
+	return est, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"perfpred/internal/dataset"
+)
+
+// FieldImportance is one input field's relative influence on a trained
+// model's predictions (paper §4.4: neural-network importance from
+// sensitivity analysis, linear-regression importance from standardized
+// beta coefficients).
+type FieldImportance struct {
+	// Field is the schema field name (one-hot columns are folded back to
+	// their source field).
+	Field string
+	// Score is the relative importance: for neural models, 0 means no
+	// effect and 1.0 means the field alone spans the whole prediction
+	// range; for linear models it is the absolute standardized beta.
+	Score float64
+}
+
+// Importances analyses the predictor against (a sample of) the dataset it
+// was trained on and returns per-field importance scores sorted from most
+// to least important. Fields the model dropped do not appear.
+func (p *Predictor) Importances(d *dataset.Dataset) ([]FieldImportance, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, errors.New("core: importance needs probe records")
+	}
+	byField := map[string]float64{}
+	if p.nn != nil {
+		x, _, err := p.enc.Transform(d)
+		if err != nil {
+			return nil, err
+		}
+		imp, err := p.nn.Importance(x)
+		if err != nil {
+			return nil, err
+		}
+		// Fold one-hot columns back onto their source field (the
+		// strongest level represents the field).
+		for col, score := range imp {
+			f := p.enc.SourceField(col)
+			if score > byField[f] {
+				byField[f] = score
+			}
+		}
+	} else {
+		for _, c := range p.lr.Coefficients() {
+			name := c.Name
+			score := math.Abs(c.StdBeta)
+			if score > byField[name] {
+				byField[name] = score
+			}
+		}
+	}
+	out := make([]FieldImportance, 0, len(byField))
+	for f, s := range byField {
+		if s > 0 {
+			out = append(out, FieldImportance{Field: f, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out, nil
+}
+
+// SelectedPredictors returns the names of the predictors a linear model
+// retained (paper §4.3 discusses how LR-S/LR-B keep fewer predictors than
+// LR-E). Neural predictors return the fields that remain unpruned.
+func (p *Predictor) SelectedPredictors() []string {
+	if p.lr != nil {
+		return p.lr.SelectedNames()
+	}
+	// Neural model: every unfrozen input's source field.
+	seen := map[string]bool{}
+	var out []string
+	for col := 0; col < p.enc.NumColumns(); col++ {
+		if p.nn.Network().InputFrozen(col) {
+			continue
+		}
+		f := p.enc.SourceField(col)
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

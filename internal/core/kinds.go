@@ -1,0 +1,134 @@
+// Package core implements the paper's predictive-modeling framework: the
+// nine-model zoo (four linear-regression selection methods, five neural
+// network training methods, plus the NN-S single-layer baseline), the
+// five-fold 50 % cross-validation error estimation of §3.3, the "Select"
+// meta-method that picks the model with the best estimated error, and the
+// two workflows of Figure 1 — sampled design-space exploration and
+// chronological prediction.
+package core
+
+import (
+	"fmt"
+
+	"perfpred/internal/linreg"
+	"perfpred/internal/neural"
+)
+
+// ModelKind identifies one candidate model of the zoo.
+type ModelKind int
+
+const (
+	// LRE is linear regression with the Enter method (all predictors).
+	LRE ModelKind = iota
+	// LRS is stepwise linear regression.
+	LRS
+	// LRB is backwards linear regression.
+	LRB
+	// LRF is forwards linear regression.
+	LRF
+	// NNQ is the Quick neural network.
+	NNQ
+	// NND is the Dynamic neural network.
+	NND
+	// NNM is the Multiple neural network.
+	NNM
+	// NNP is the Prune neural network.
+	NNP
+	// NNE is the Exhaustive Prune neural network.
+	NNE
+	// NNS is the single-layer constant-learning-rate network (the
+	// Ipek-style baseline the paper compares against).
+	NNS
+)
+
+// String returns the paper's model label.
+func (k ModelKind) String() string {
+	switch k {
+	case LRE:
+		return "LR-E"
+	case LRS:
+		return "LR-S"
+	case LRB:
+		return "LR-B"
+	case LRF:
+		return "LR-F"
+	case NNQ:
+		return "NN-Q"
+	case NND:
+		return "NN-D"
+	case NNM:
+		return "NN-M"
+	case NNP:
+		return "NN-P"
+	case NNE:
+		return "NN-E"
+	case NNS:
+		return "NN-S"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// ParseModelKind converts a paper label (e.g. "NN-E") to a ModelKind.
+func ParseModelKind(s string) (ModelKind, error) {
+	for _, k := range AllModels() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown model %q", s)
+}
+
+// AllModels lists every implemented model kind.
+func AllModels() []ModelKind {
+	return []ModelKind{LRE, LRS, LRB, LRF, NNQ, NND, NNM, NNP, NNE, NNS}
+}
+
+// FigureModels lists the nine models in the order of the paper's
+// Figures 7 and 8 (LR-E, LR-S, LR-B, LR-F, NN-Q, NN-D, NN-M, NN-P, NN-E).
+func FigureModels() []ModelKind {
+	return []ModelKind{LRE, LRS, LRB, LRF, NNQ, NND, NNM, NNP, NNE}
+}
+
+// SampledModels lists the three models the paper's Figures 2–6 present
+// for the sampled design space (best LR, best NN, fast NN).
+func SampledModels() []ModelKind { return []ModelKind{LRB, NNE, NNS} }
+
+// IsNeural reports whether the kind is a neural-network model.
+func (k ModelKind) IsNeural() bool { return k >= NNQ }
+
+// lrMethod maps a linear kind to its selection method.
+func (k ModelKind) lrMethod() (linreg.Method, bool) {
+	switch k {
+	case LRE:
+		return linreg.Enter, true
+	case LRS:
+		return linreg.Stepwise, true
+	case LRB:
+		return linreg.Backward, true
+	case LRF:
+		return linreg.Forward, true
+	default:
+		return 0, false
+	}
+}
+
+// nnMethod maps a neural kind to its training method.
+func (k ModelKind) nnMethod() (neural.Method, bool) {
+	switch k {
+	case NNQ:
+		return neural.Quick, true
+	case NND:
+		return neural.Dynamic, true
+	case NNM:
+		return neural.Multiple, true
+	case NNP:
+		return neural.Prune, true
+	case NNE:
+		return neural.ExhaustivePrune, true
+	case NNS:
+		return neural.Single, true
+	default:
+		return 0, false
+	}
+}

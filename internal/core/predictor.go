@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/linreg"
+	"perfpred/internal/neural"
+	"perfpred/internal/stat"
+)
+
+// TrainConfig configures model training.
+type TrainConfig struct {
+	// Seed drives every stochastic choice (splits, NN initialization).
+	Seed int64
+	// Workers bounds intra-training parallelism (0 = GOMAXPROCS).
+	Workers int
+	// EpochScale scales neural-network epoch budgets (0 = 1.0); tests use
+	// small values for speed.
+	EpochScale float64
+}
+
+func (c TrainConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Predictor is one trained model bound to the encoder that prepared its
+// inputs, so it can score raw records directly.
+type Predictor struct {
+	kind ModelKind
+	enc  *dataset.Encoder
+	lr   *linreg.Model
+	nn   *neural.Model
+}
+
+// Train fits a model of the given kind on the training dataset, handling
+// the model family's data preparation (§3.4) internally.
+func Train(kind ModelKind, train *dataset.Dataset, cfg TrainConfig) (*Predictor, error) {
+	if train == nil || train.Len() == 0 {
+		return nil, errors.New("core: empty training dataset")
+	}
+	if m, ok := kind.lrMethod(); ok {
+		enc, err := dataset.FitEncoder(train, dataset.ForLR)
+		if err != nil {
+			return nil, fmt.Errorf("core: preparing LR inputs: %w", err)
+		}
+		x, y, err := enc.Transform(train)
+		if err != nil {
+			return nil, err
+		}
+		model, err := linreg.Fit(x, y, enc.ColumnNames(), linreg.Options{Method: m})
+		if err != nil {
+			return nil, fmt.Errorf("core: fitting %v: %w", kind, err)
+		}
+		return &Predictor{kind: kind, enc: enc, lr: model}, nil
+	}
+	m, ok := kind.nnMethod()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown model kind %v", kind)
+	}
+	enc, err := dataset.FitEncoder(train, dataset.ForNN)
+	if err != nil {
+		return nil, fmt.Errorf("core: preparing NN inputs: %w", err)
+	}
+	x, y, err := enc.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	model, err := neural.Train(x, y, neural.Config{
+		Method:     m,
+		Seed:       cfg.Seed,
+		Workers:    cfg.workers(),
+		EpochScale: cfg.EpochScale,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: training %v: %w", kind, err)
+	}
+	return &Predictor{kind: kind, enc: enc, nn: model}, nil
+}
+
+// Kind returns the model kind.
+func (p *Predictor) Kind() ModelKind { return p.kind }
+
+// Encoder exposes the fitted input encoder.
+func (p *Predictor) Encoder() *dataset.Encoder { return p.enc }
+
+// Predict scores one raw record (in original units).
+func (p *Predictor) Predict(row []dataset.Value) (float64, error) {
+	x, err := p.enc.EncodeRow(row)
+	if err != nil {
+		return 0, err
+	}
+	if p.lr != nil {
+		return p.enc.UnscaleTarget(p.lr.Predict(x)), nil
+	}
+	return p.enc.UnscaleTarget(p.nn.Predict(x)), nil
+}
+
+// PredictDataset scores every record of a dataset.
+func (p *Predictor) PredictDataset(d *dataset.Dataset) ([]float64, error) {
+	out := make([]float64, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		y, err := p.Predict(d.Row(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// Evaluate returns the mean and standard deviation of the absolute
+// percentage errors of the predictor on a dataset — the paper's error
+// metric (mean) and its Figure 7/8 error bars (standard deviation).
+func (p *Predictor) Evaluate(d *dataset.Dataset) (meanAPE, stdAPE float64, err error) {
+	if d == nil || d.Len() == 0 {
+		return 0, 0, errors.New("core: empty evaluation dataset")
+	}
+	yhat, err := p.PredictDataset(d)
+	if err != nil {
+		return 0, 0, err
+	}
+	apes := stat.APEs(yhat, d.Targets())
+	return stat.Mean(apes), stat.StdDev(apes), nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/linreg"
+	"perfpred/internal/neural"
+)
+
+type predictorState struct {
+	Version int             `json:"version"`
+	Kind    ModelKind       `json:"kind"`
+	Encoder json.RawMessage `json:"encoder"`
+	LR      json.RawMessage `json:"lr,omitempty"`
+	NN      json.RawMessage `json:"nn,omitempty"`
+}
+
+const predictorVersion = 1
+
+// MarshalJSON serializes the trained predictor — model weights plus the
+// fitted input encoder — so a surrogate can be stored and reused without
+// retraining.
+func (p *Predictor) MarshalJSON() ([]byte, error) {
+	enc, err := json.Marshal(p.enc)
+	if err != nil {
+		return nil, err
+	}
+	st := predictorState{Version: predictorVersion, Kind: p.kind, Encoder: enc}
+	if p.lr != nil {
+		if st.LR, err = json.Marshal(p.lr); err != nil {
+			return nil, err
+		}
+	}
+	if p.nn != nil {
+		if st.NN, err = json.Marshal(p.nn); err != nil {
+			return nil, err
+		}
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalPredictor restores a predictor serialized by MarshalJSON.
+func UnmarshalPredictor(data []byte) (*Predictor, error) {
+	var st predictorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("core: decoding predictor: %w", err)
+	}
+	if st.Version != predictorVersion {
+		return nil, fmt.Errorf("core: unsupported predictor version %d", st.Version)
+	}
+	enc, err := dataset.UnmarshalEncoder(st.Encoder)
+	if err != nil {
+		return nil, err
+	}
+	p := &Predictor{kind: st.Kind, enc: enc}
+	switch {
+	case st.LR != nil && st.NN != nil:
+		return nil, fmt.Errorf("core: predictor carries both LR and NN payloads")
+	case st.LR != nil:
+		if st.Kind.IsNeural() {
+			return nil, fmt.Errorf("core: %v predictor with an LR payload", st.Kind)
+		}
+		if p.lr, err = linreg.UnmarshalModel(st.LR); err != nil {
+			return nil, err
+		}
+	case st.NN != nil:
+		if !st.Kind.IsNeural() {
+			return nil, fmt.Errorf("core: %v predictor with an NN payload", st.Kind)
+		}
+		if p.nn, err = neural.UnmarshalModel(st.NN); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: predictor has no model payload")
+	}
+	return p, nil
+}
+
+// Save writes the predictor to w as JSON.
+func (p *Predictor) Save(w io.Writer) error {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// LoadPredictor reads a predictor previously written with Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalPredictor(data)
+}

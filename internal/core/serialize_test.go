@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	train := synthSpace(t, 150, 21)
+	probeRows := synthSpace(t, 20, 22)
+	for _, kind := range []ModelKind{LRE, LRB, NNQ, NNS} {
+		p, err := Train(kind, train, quickCfg())
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatalf("%v: save: %v", kind, err)
+		}
+		back, err := LoadPredictor(&buf)
+		if err != nil {
+			t.Fatalf("%v: load: %v", kind, err)
+		}
+		if back.Kind() != kind {
+			t.Fatalf("%v: kind became %v", kind, back.Kind())
+		}
+		for i := 0; i < probeRows.Len(); i++ {
+			want, err := p.Predict(probeRows.Row(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := back.Predict(probeRows.Row(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%v: loaded model predicts %v, original %v", kind, got, want)
+			}
+		}
+	}
+}
+
+func TestPredictorLoadRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalPredictor([]byte("not json")); err == nil {
+		t.Fatal("garbage: want error")
+	}
+	if _, err := UnmarshalPredictor([]byte(`{"version":99}`)); err == nil {
+		t.Fatal("bad version: want error")
+	}
+	if _, err := UnmarshalPredictor([]byte(`{"version":1,"kind":0,"encoder":{"version":1}}`)); err == nil {
+		t.Fatal("empty encoder: want error")
+	}
+}
+
+func TestPredictorLoadRejectsPayloadMismatch(t *testing.T) {
+	train := synthSpace(t, 80, 23)
+	p, err := Train(LRE, train, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]json.RawMessage
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	// Claim the LR payload belongs to a neural kind.
+	st["kind"] = json.RawMessage("9") // NNS
+	bad, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalPredictor(bad); err == nil {
+		t.Fatal("kind/payload mismatch: want error")
+	}
+	// Strip the payload entirely.
+	delete(st, "lr")
+	st["kind"] = json.RawMessage("0")
+	empty, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalPredictor(empty); err == nil {
+		t.Fatal("missing payload: want error")
+	}
+}
+
+func TestLoadedPredictorImportancesWork(t *testing.T) {
+	train := synthSpace(t, 200, 24)
+	p, err := Train(NNQ, train, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps, err := back.Importances(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) == 0 {
+		t.Fatal("no importances from a loaded model")
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/stat"
+)
+
+// ModelReport carries one model's estimated and measured quality in an
+// experiment.
+type ModelReport struct {
+	Kind ModelKind
+	// Estimate is the cross-validated error predicted from training data
+	// alone (§3.3).
+	Estimate ErrorEstimate
+	// TrueMAPE is the measured mean absolute percentage error on the
+	// evaluation data (the whole space for sampled DSE, the following year
+	// for chronological prediction).
+	TrueMAPE float64
+	// StdAPE is the standard deviation of the absolute percentage errors
+	// (the error bars of Figures 7–8).
+	StdAPE float64
+	// Predictor is the model trained on the full training set.
+	Predictor *Predictor
+}
+
+// SampledDSEResult is the outcome of one sampled design-space exploration
+// run (Figure 1a) at one sampling rate.
+type SampledDSEResult struct {
+	// Fraction is the sampling rate (e.g. 0.01 for the paper's 1%).
+	Fraction float64
+	// SampleSize is the number of design points actually simulated.
+	SampleSize int
+	// Reports holds one entry per requested model kind, in request order.
+	Reports []ModelReport
+	// Selected is the model the Select meta-method picks: lowest
+	// estimated (Max-criterion) error, resolved before any test data is
+	// seen (paper §4.4, Table 3's "select" row).
+	Selected ModelKind
+	// SelectedTrueMAPE is the true error of the selected model.
+	SelectedTrueMAPE float64
+}
+
+// RunSampledDSE performs the paper's sampled design-space exploration:
+// randomly sample the given fraction of the full space, train every
+// requested model on the sample, estimate each model's error by
+// cross-validation, measure each model's true error against the whole
+// space, and apply the Select rule. Model trainings run in parallel.
+func RunSampledDSE(full *dataset.Dataset, fraction float64, kinds []ModelKind, cfg TrainConfig) (*SampledDSEResult, error) {
+	if full == nil || full.Len() < 8 {
+		return nil, errors.New("core: full design-space dataset too small")
+	}
+	if len(kinds) == 0 {
+		return nil, errors.New("core: no model kinds requested")
+	}
+	sample, _, err := full.SampleFraction(stat.NewRand(stat.DeriveSeed(cfg.Seed, 1)), fraction)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := evaluateKinds(kinds, sample, full, cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &SampledDSEResult{
+		Fraction:   fraction,
+		SampleSize: sample.Len(),
+		Reports:    reports,
+	}
+	sel, err := selectByEstimate(reports)
+	if err != nil {
+		return nil, err
+	}
+	res.Selected = sel.Kind
+	res.SelectedTrueMAPE = sel.TrueMAPE
+	return res, nil
+}
+
+// ChronoResult is the outcome of one chronological prediction run
+// (Figure 1b): models trained on year Y predict year Y+1.
+type ChronoResult struct {
+	// Reports holds one entry per requested kind, in request order.
+	Reports []ModelReport
+	// Best is the model with the lowest measured error on the future year
+	// (what the paper's Table 2 reports).
+	Best ModelKind
+	// BestTrueMAPE is its error.
+	BestTrueMAPE float64
+	// Selected is the model chosen on estimated error alone (usable
+	// before the future year exists).
+	Selected ModelKind
+	// SelectedTrueMAPE is the selected model's measured error.
+	SelectedTrueMAPE float64
+}
+
+// RunChronological trains every requested model on the training-year
+// dataset, estimates errors by cross-validation on that year, and measures
+// true errors against the future-year dataset.
+func RunChronological(train, future *dataset.Dataset, kinds []ModelKind, cfg TrainConfig) (*ChronoResult, error) {
+	if train == nil || train.Len() < 8 {
+		return nil, errors.New("core: training-year dataset too small")
+	}
+	if future == nil || future.Len() == 0 {
+		return nil, errors.New("core: future-year dataset is empty")
+	}
+	if len(kinds) == 0 {
+		return nil, errors.New("core: no model kinds requested")
+	}
+	reports, err := evaluateKinds(kinds, train, future, cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &ChronoResult{Reports: reports}
+	best := &reports[0]
+	for i := range reports {
+		if reports[i].TrueMAPE < best.TrueMAPE {
+			best = &reports[i]
+		}
+	}
+	res.Best = best.Kind
+	res.BestTrueMAPE = best.TrueMAPE
+	sel, err := selectByEstimate(reports)
+	if err != nil {
+		return nil, err
+	}
+	res.Selected = sel.Kind
+	res.SelectedTrueMAPE = sel.TrueMAPE
+	return res, nil
+}
+
+// evaluateKinds trains and scores every kind (in parallel across kinds)
+// against the evaluation dataset, optionally with cross-validated
+// estimates.
+func evaluateKinds(kinds []ModelKind, train, eval *dataset.Dataset, cfg TrainConfig, withEstimates bool) ([]ModelReport, error) {
+	reports := make([]ModelReport, len(kinds))
+	errs := make([]error, len(kinds))
+	var wg sync.WaitGroup
+	workers := cfg.workers()
+	if workers > len(kinds) {
+		workers = len(kinds)
+	}
+	sem := make(chan struct{}, workers)
+	for i, kind := range kinds {
+		wg.Add(1)
+		go func(i int, kind ModelKind) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			kindCfg := cfg
+			kindCfg.Seed = stat.DeriveSeed(cfg.Seed, 100+int(kind))
+			kindCfg.Workers = 1
+			rep := ModelReport{Kind: kind}
+			if withEstimates {
+				est, err := EstimateError(kind, train, kindCfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("estimating %v: %w", kind, err)
+					return
+				}
+				rep.Estimate = est
+			}
+			p, err := Train(kind, train, kindCfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("training %v: %w", kind, err)
+				return
+			}
+			rep.Predictor = p
+			rep.TrueMAPE, rep.StdAPE, err = p.Evaluate(eval)
+			if err != nil {
+				errs[i] = fmt.Errorf("evaluating %v: %w", kind, err)
+				return
+			}
+			reports[i] = rep
+		}(i, kind)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
+}
+
+// selectByEstimate applies the paper's Select rule: choose the model whose
+// estimated error (the Max criterion) is lowest.
+func selectByEstimate(reports []ModelReport) (*ModelReport, error) {
+	if len(reports) == 0 {
+		return nil, errors.New("core: no reports to select from")
+	}
+	best := &reports[0]
+	bestScore := math.Inf(1)
+	for i := range reports {
+		score := reports[i].Estimate.Max
+		if score < bestScore {
+			best = &reports[i]
+			bestScore = score
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,311 @@
+package cpu
+
+import (
+	"testing"
+
+	"perfpred/internal/bpred"
+	"perfpred/internal/mem"
+	"perfpred/internal/trace"
+)
+
+// baseConfig returns a mid-range configuration.
+func baseConfig() Config {
+	cfg := Config{
+		Mem: mem.HierarchyConfig{
+			L1I:  mem.CacheConfig{SizeKB: 32, LineBytes: 64, Assoc: 4},
+			L1D:  mem.CacheConfig{SizeKB: 32, LineBytes: 64, Assoc: 4},
+			L2:   mem.CacheConfig{SizeKB: 1024, LineBytes: 128, Assoc: 8},
+			ITLB: mem.TLBConfig{CoverageKB: 256},
+			DTLB: mem.TLBConfig{CoverageKB: 512},
+		},
+		BPred: bpred.Combination,
+		Width: 4,
+		RUU:   128,
+		LSQ:   64,
+		FU:    FUConfig{IntALU: 4, IntMult: 2, MemPort: 2, FPALU: 4, FPMult: 2},
+	}
+	DefaultLatencies(&cfg)
+	return cfg
+}
+
+func genTrace(t *testing.T, name string, n int) *trace.Trace {
+	t.Helper()
+	p, err := trace.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(p, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Mem.L2 = mem.CacheConfig{} },
+		func(c *Config) { c.BPred = bpred.Bimodal; c.BPredEntries = 1000 },
+		func(c *Config) { c.Width = 0 },
+		func(c *Config) { c.RUU = 0 },
+		func(c *Config) { c.LSQ = 256; c.RUU = 128 },
+		func(c *Config) { c.FU.MemPort = 0 },
+		func(c *Config) { c.FrontendDepth = 0 },
+	}
+	for i, mutate := range mutations {
+		c := baseConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: want error", i)
+		}
+	}
+}
+
+func TestFUConfigString(t *testing.T) {
+	fu := FUConfig{IntALU: 4, IntMult: 2, MemPort: 2, FPALU: 4, FPMult: 2}
+	if fu.String() != "4/2/2/4/2" {
+		t.Fatalf("String() = %q", fu.String())
+	}
+}
+
+func TestSimulateBasicSanity(t *testing.T) {
+	tr := genTrace(t, "gcc", 30000)
+	res, err := Simulate(baseConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 30000 {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("cycles = %v", res.Cycles)
+	}
+	if res.IPC <= 0 || res.IPC > float64(baseConfig().Width) {
+		t.Fatalf("IPC = %v implausible", res.IPC)
+	}
+	sum := res.BaseCycles + res.BranchCycles + res.FetchCycles + res.MemCycles + res.TLBCycles
+	if diff := res.Cycles - sum; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("breakdown (%v) does not sum to cycles (%v)", sum, res.Cycles)
+	}
+	if res.Branches == 0 || res.BranchMisses > res.Branches {
+		t.Fatalf("branch stats %d/%d", res.BranchMisses, res.Branches)
+	}
+}
+
+func TestSimulateRejectsInvalid(t *testing.T) {
+	tr := genTrace(t, "gcc", 1000)
+	bad := baseConfig()
+	bad.Width = 0
+	if _, err := Simulate(bad, tr); err == nil {
+		t.Fatal("invalid config: want error")
+	}
+	if _, err := Simulate(baseConfig(), &trace.Trace{}); err == nil {
+		t.Fatal("empty trace: want error")
+	}
+}
+
+func TestPerfectPredictorFaster(t *testing.T) {
+	tr := genTrace(t, "gcc", 30000)
+	e, err := NewEvaluator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := baseConfig()
+	perf.BPred = bpred.Perfect
+	bim := baseConfig()
+	bim.BPred = bpred.Bimodal
+	rp, err := e.Simulate(perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := e.Simulate(bim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Cycles >= rb.Cycles {
+		t.Fatalf("perfect (%v) not faster than bimodal (%v) on branchy gcc", rp.Cycles, rb.Cycles)
+	}
+	if rp.BranchMisses != 0 {
+		t.Fatalf("perfect predictor missed %d branches", rp.BranchMisses)
+	}
+}
+
+func TestBiggerCachesFasterOnMcf(t *testing.T) {
+	tr := genTrace(t, "mcf", 30000)
+	e, _ := NewEvaluator(tr)
+	small := baseConfig()
+	small.Mem.L1D.SizeKB = 16
+	small.Mem.L2.SizeKB = 256
+	small.Mem.L2.Assoc = 4
+	big := baseConfig()
+	big.Mem.L1D.SizeKB = 64
+	big.Mem.L3 = mem.CacheConfig{SizeKB: 8192, LineBytes: 256, Assoc: 8, LatencyCycles: 40}
+	rs, err := e.Simulate(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := e.Simulate(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Cycles >= rs.Cycles {
+		t.Fatalf("bigger memory system (%v) not faster than small (%v) on mcf", rb.Cycles, rs.Cycles)
+	}
+}
+
+func TestWiderCoreFasterOnApplu(t *testing.T) {
+	tr := genTrace(t, "applu", 30000)
+	e, _ := NewEvaluator(tr)
+	narrow := baseConfig()
+	wide := baseConfig()
+	wide.Width = 8
+	wide.RUU, wide.LSQ = 256, 128
+	wide.FU = FUConfig{IntALU: 8, IntMult: 4, MemPort: 4, FPALU: 8, FPMult: 4}
+	rn, err := e.Simulate(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := e.Simulate(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Cycles >= rn.Cycles {
+		t.Fatalf("8-wide (%v) not faster than 4-wide (%v) on high-ILP applu", rw.Cycles, rn.Cycles)
+	}
+}
+
+func TestIssueWrongCostsCycles(t *testing.T) {
+	tr := genTrace(t, "gcc", 20000)
+	e, _ := NewEvaluator(tr)
+	off := baseConfig()
+	on := baseConfig()
+	on.IssueWrong = true
+	ro, err := e.Simulate(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := e.Simulate(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Cycles <= ro.Cycles {
+		t.Fatalf("wrong-path issue should cost cycles: %v vs %v", rw.Cycles, ro.Cycles)
+	}
+}
+
+func TestEvaluatorMemoizationConsistent(t *testing.T) {
+	tr := genTrace(t, "mesa", 20000)
+	e, _ := NewEvaluator(tr)
+	cfg := baseConfig()
+	r1, err := e.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Fatal("memoized resimulation differs")
+	}
+	// Fresh evaluator must agree too (substrate passes are deterministic).
+	e2, _ := NewEvaluator(tr)
+	r3, err := e2.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r3.Cycles {
+		t.Fatal("fresh evaluator disagrees with memoized one")
+	}
+}
+
+func TestEvaluatorConcurrentUse(t *testing.T) {
+	tr := genTrace(t, "gcc", 10000)
+	e, _ := NewEvaluator(tr)
+	cfgs := make([]Config, 16)
+	for i := range cfgs {
+		c := baseConfig()
+		if i%2 == 0 {
+			c.Mem.L1D.SizeKB = 16
+		}
+		if i%4 < 2 {
+			c.BPred = bpred.TwoLevel
+		}
+		cfgs[i] = c
+	}
+	results := make([]float64, len(cfgs))
+	done := make(chan error, len(cfgs))
+	for i := range cfgs {
+		go func(i int) {
+			r, err := e.Simulate(cfgs[i])
+			if err == nil {
+				results[i] = r.Cycles
+			}
+			done <- err
+		}(i)
+	}
+	for range cfgs {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cross-check against sequential evaluation.
+	e2, _ := NewEvaluator(tr)
+	for i := range cfgs {
+		r, err := e2.Simulate(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles != results[i] {
+			t.Fatalf("config %d: concurrent %v vs sequential %v", i, results[i], r.Cycles)
+		}
+	}
+}
+
+func TestMemBoundVsComputeBoundBreakdown(t *testing.T) {
+	e1, _ := NewEvaluator(genTrace(t, "mcf", 30000))
+	e2, _ := NewEvaluator(genTrace(t, "applu", 30000))
+	rm, err := e1.Simulate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := e2.Simulate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	memFracMcf := rm.MemCycles / rm.Cycles
+	memFracApplu := ra.MemCycles / ra.Cycles
+	if memFracMcf <= memFracApplu {
+		t.Fatalf("mcf memory fraction %.2f should exceed applu's %.2f", memFracMcf, memFracApplu)
+	}
+}
+
+func TestEvaluatorDistinguishesPrefetcherConfigs(t *testing.T) {
+	// Regression test for the memoization key: toggling the prefetcher
+	// must not hit the same cached substrate pass.
+	tr := genTrace(t, "applu", 60000)
+	e, err := NewEvaluator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := baseConfig()
+	on := baseConfig()
+	on.Mem.NextLinePrefetch = true
+	ro, err := e.Simulate(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := e.Simulate(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Cycles >= ro.Cycles {
+		t.Fatalf("prefetcher should speed up streaming applu: %v vs %v", rn.Cycles, ro.Cycles)
+	}
+	if rn.MemStats.Prefetches == 0 {
+		t.Fatal("prefetch stats missing")
+	}
+}

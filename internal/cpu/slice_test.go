@@ -1,0 +1,78 @@
+package cpu
+
+import (
+	"testing"
+)
+
+func TestSimulateSliceValidation(t *testing.T) {
+	tr := genTrace(t, "mesa", 20000)
+	cfg := baseConfig()
+	if _, err := SimulateSlice(cfg, tr, -1, 100, 0); err == nil {
+		t.Fatal("negative start: want error")
+	}
+	if _, err := SimulateSlice(cfg, tr, 0, 0, 0); err == nil {
+		t.Fatal("zero length: want error")
+	}
+	if _, err := SimulateSlice(cfg, tr, 19000, 2000, 0); err == nil {
+		t.Fatal("window past end: want error")
+	}
+	if _, err := SimulateSlice(cfg, tr, 0, 100, -1); err == nil {
+		t.Fatal("negative warmup: want error")
+	}
+	bad := cfg
+	bad.Width = 0
+	if _, err := SimulateSlice(bad, tr, 0, 100, 0); err == nil {
+		t.Fatal("invalid config: want error")
+	}
+}
+
+func TestSimulateSliceWarmupReducesCPI(t *testing.T) {
+	tr := genTrace(t, "mesa", 60000)
+	cfg := baseConfig()
+	cold, err := SimulateSlice(cfg, tr, 30000, 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := SimulateSlice(cfg, tr, 30000, 5000, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cycles >= cold.Cycles {
+		t.Fatalf("warmup should reduce measured cycles: warm %v vs cold %v", warm.Cycles, cold.Cycles)
+	}
+}
+
+func TestSimulateSliceFullWindowMatchesSimulate(t *testing.T) {
+	tr := genTrace(t, "gcc", 20000)
+	cfg := baseConfig()
+	full, err := Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice, err := SimulateSlice(cfg, tr, 0, tr.Len(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := full.Cycles - slice.Cycles; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("whole-trace slice (%v) should equal Simulate (%v)", slice.Cycles, full.Cycles)
+	}
+	if full.BranchMisses != slice.BranchMisses {
+		t.Fatalf("branch misses differ: %d vs %d", full.BranchMisses, slice.BranchMisses)
+	}
+}
+
+func TestSimulateSliceStatsWindowOnly(t *testing.T) {
+	tr := genTrace(t, "mesa", 40000)
+	cfg := baseConfig()
+	res, err := SimulateSlice(cfg, tr, 20000, 4000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 4000 {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+	// The window performs exactly 4000 instruction fetches.
+	if res.MemStats.L1IAccesses != 4000 {
+		t.Fatalf("L1I accesses = %d, want 4000 (warmup excluded)", res.MemStats.L1IAccesses)
+	}
+}

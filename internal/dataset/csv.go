@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset as CSV with a header row; the final column is
+// the target. Flags render as yes/no, categoricals as their labels.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(d.schema.Fields)+1)
+	for _, f := range d.schema.Fields {
+		header = append(header, f.Name)
+	}
+	header = append(header, d.schema.Target)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < d.Len(); i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			rec[j] = v.String()
+		}
+		rec[len(rec)-1] = strconv.FormatFloat(d.Target(i), 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV produced by WriteCSV back into a dataset with the
+// given schema. The header row must match the schema field names followed
+// by the target name.
+func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) != len(schema.Fields)+1 {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, schema expects %d", len(header), len(schema.Fields)+1)
+	}
+	for i, f := range schema.Fields {
+		if header[i] != f.Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, header[i], f.Name)
+		}
+	}
+	if header[len(header)-1] != schema.Target {
+		return nil, fmt.Errorf("dataset: CSV target column is %q, schema expects %q", header[len(header)-1], schema.Target)
+	}
+	out := New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		row := make([]Value, len(schema.Fields))
+		for j, f := range schema.Fields {
+			switch f.Kind {
+			case Numeric:
+				x, err := strconv.ParseFloat(rec[j], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d field %q: %w", line, f.Name, err)
+				}
+				row[j] = Num(x)
+			case Flag:
+				switch rec[j] {
+				case "yes", "true", "1":
+					row[j] = FlagVal(true)
+				case "no", "false", "0":
+					row[j] = FlagVal(false)
+				default:
+					return nil, fmt.Errorf("dataset: line %d field %q: bad flag %q", line, f.Name, rec[j])
+				}
+			case Categorical:
+				row[j] = Cat(rec[j])
+			}
+		}
+		y, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d target: %w", line, err)
+		}
+		if err := out.Append(row, y); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

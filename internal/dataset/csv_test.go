@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := encData(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, d.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip len %d vs %d", back.Len(), d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if back.Target(i) != d.Target(i) {
+			t.Fatalf("target %d: %v vs %v", i, back.Target(i), d.Target(i))
+		}
+		for j := range d.Row(i) {
+			if back.Row(i)[j].String() != d.Row(i)[j].String() {
+				t.Fatalf("cell %d,%d: %v vs %v", i, j, back.Row(i)[j], d.Row(i)[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVHeaderValidation(t *testing.T) {
+	s := encSchema(t)
+	if _, err := ReadCSV(strings.NewReader("a,b\n"), s); err == nil {
+		t.Fatal("wrong column count: want error")
+	}
+	if _, err := ReadCSV(strings.NewReader("x,smt,bpred,disk,l2lat,perf\n"), s); err == nil {
+		t.Fatal("wrong field name: want error")
+	}
+	if _, err := ReadCSV(strings.NewReader("clock,smt,bpred,disk,l2lat,wrong\n"), s); err == nil {
+		t.Fatal("wrong target name: want error")
+	}
+}
+
+func TestReadCSVValueValidation(t *testing.T) {
+	s := encSchema(t)
+	head := "clock,smt,bpred,disk,l2lat,perf\n"
+	if _, err := ReadCSV(strings.NewReader(head+"abc,yes,bimodal,scsi,12,10\n"), s); err == nil {
+		t.Fatal("bad numeric: want error")
+	}
+	if _, err := ReadCSV(strings.NewReader(head+"1,maybe,bimodal,scsi,12,10\n"), s); err == nil {
+		t.Fatal("bad flag: want error")
+	}
+	if _, err := ReadCSV(strings.NewReader(head+"1,yes,bimodal,scsi,12,oops\n"), s); err == nil {
+		t.Fatal("bad target: want error")
+	}
+}
+
+func TestReadCSVFlagSpellings(t *testing.T) {
+	s := encSchema(t)
+	head := "clock,smt,bpred,disk,l2lat,perf\n"
+	d, err := ReadCSV(strings.NewReader(head+"1,true,bimodal,scsi,12,10\n2,0,comb,sata,12,20\n"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Row(0)[1].Bool() || d.Row(1)[1].Bool() {
+		t.Fatal("flag spellings true/0 misparsed")
+	}
+}

@@ -1,0 +1,233 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("cycles",
+		Field{Name: "clock", Kind: Numeric},
+		Field{Name: "smt", Kind: Flag},
+		Field{Name: "bpred", Kind: Categorical},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fill(t *testing.T, d *Dataset, n int) {
+	t.Helper()
+	preds := []string{"bimodal", "2level", "comb"}
+	for i := 0; i < n; i++ {
+		err := d.Append([]Value{
+			Num(float64(1000 + i)),
+			FlagVal(i%2 == 0),
+			Cat(preds[i%3]),
+		}, float64(10*(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(""); err == nil {
+		t.Fatal("empty target: want error")
+	}
+	if _, err := NewSchema("y", Field{Name: "", Kind: Numeric}); err == nil {
+		t.Fatal("empty field name: want error")
+	}
+	if _, err := NewSchema("y", Field{Name: "a", Kind: Numeric}, Field{Name: "a", Kind: Flag}); err == nil {
+		t.Fatal("duplicate field: want error")
+	}
+}
+
+func TestSchemaFieldIndex(t *testing.T) {
+	s := testSchema(t)
+	if got := s.FieldIndex("smt"); got != 1 {
+		t.Fatalf("FieldIndex(smt) = %d", got)
+	}
+	if got := s.FieldIndex("nope"); got != -1 {
+		t.Fatalf("FieldIndex(nope) = %d", got)
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if v := Num(3.5); v.Kind() != Numeric || v.Float() != 3.5 {
+		t.Fatal("Num broken")
+	}
+	if v := FlagVal(true); v.Kind() != Flag || !v.Bool() {
+		t.Fatal("FlagVal broken")
+	}
+	if v := Cat("x"); v.Kind() != Categorical || v.Label() != "x" {
+		t.Fatal("Cat broken")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Num(2.5), "2.5"},
+		{FlagVal(true), "yes"},
+		{FlagVal(false), "no"},
+		{Cat("bimodal"), "bimodal"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	d := New(testSchema(t))
+	if err := d.Append([]Value{Num(1)}, 0); err == nil {
+		t.Fatal("arity mismatch: want error")
+	}
+	if err := d.Append([]Value{Num(1), Num(2), Cat("x")}, 0); err == nil {
+		t.Fatal("kind mismatch: want error")
+	}
+	if err := d.Append([]Value{Num(1), FlagVal(true), Cat("x")}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.Target(0) != 5 {
+		t.Fatal("append did not record")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := New(testSchema(t))
+	fill(t, d, 5)
+	sub, err := d.Subset([]int{4, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 3 {
+		t.Fatalf("len = %d", sub.Len())
+	}
+	if sub.Target(0) != 50 || sub.Target(1) != 10 || sub.Target(2) != 30 {
+		t.Fatalf("targets = %v", sub.Targets())
+	}
+	if _, err := d.Subset([]int{5}); err == nil {
+		t.Fatal("out-of-range index: want error")
+	}
+	if _, err := d.Subset([]int{-1}); err == nil {
+		t.Fatal("negative index: want error")
+	}
+}
+
+func TestSampleFraction(t *testing.T) {
+	d := New(testSchema(t))
+	fill(t, d, 200)
+	r := rand.New(rand.NewSource(1))
+	sub, idx, err := d.SampleFraction(r, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 10 || len(idx) != 10 {
+		t.Fatalf("5%% of 200 = %d records", sub.Len())
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatal("duplicate index in sample")
+		}
+		seen[i] = true
+	}
+}
+
+func TestSampleFractionAtLeastOne(t *testing.T) {
+	d := New(testSchema(t))
+	fill(t, d, 10)
+	sub, _, err := d.SampleFraction(rand.New(rand.NewSource(2)), 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 1 {
+		t.Fatalf("tiny fraction should keep 1 record, got %d", sub.Len())
+	}
+}
+
+func TestSampleFractionErrors(t *testing.T) {
+	d := New(testSchema(t))
+	fill(t, d, 10)
+	r := rand.New(rand.NewSource(3))
+	if _, _, err := d.SampleFraction(r, 0); err == nil {
+		t.Fatal("frac=0: want error")
+	}
+	if _, _, err := d.SampleFraction(r, 1.5); err == nil {
+		t.Fatal("frac>1: want error")
+	}
+	empty := New(testSchema(t))
+	if _, _, err := empty.SampleFraction(r, 0.5); err == nil {
+		t.Fatal("empty dataset: want error")
+	}
+}
+
+func TestSplitHalf(t *testing.T) {
+	d := New(testSchema(t))
+	fill(t, d, 11)
+	a, b, err := d.SplitHalf(rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 5 || b.Len() != 6 {
+		t.Fatalf("split sizes %d/%d", a.Len(), b.Len())
+	}
+	// Together they must cover all targets exactly once.
+	sum := 0.0
+	for _, y := range append(a.Targets(), b.Targets()...) {
+		sum += y
+	}
+	want := 0.0
+	for _, y := range d.Targets() {
+		want += y
+	}
+	if sum != want {
+		t.Fatalf("split lost records: %v vs %v", sum, want)
+	}
+	one := New(testSchema(t))
+	fill(t, one, 1)
+	if _, _, err := one.SplitHalf(rand.New(rand.NewSource(5))); err == nil {
+		t.Fatal("split of 1 record: want error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := New(testSchema(t))
+	fill(t, d, 3)
+	c := d.Clone()
+	if err := c.Append([]Value{Num(1), FlagVal(false), Cat("x")}, 99); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || c.Len() != 4 {
+		t.Fatal("clone shares growth with original")
+	}
+}
+
+func TestSampleDeterminismProperty(t *testing.T) {
+	d := New(testSchema(t))
+	fill(t, d, 100)
+	f := func(seed int16) bool {
+		_, i1, err1 := d.SampleFraction(rand.New(rand.NewSource(int64(seed))), 0.1)
+		_, i2, err2 := d.SampleFraction(rand.New(rand.NewSource(int64(seed))), 0.1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for k := range i1 {
+			if i1[k] != i2[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

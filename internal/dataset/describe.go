@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"perfpred/internal/stat"
+)
+
+// FieldSummary profiles one field of a dataset.
+type FieldSummary struct {
+	Name string
+	Kind FieldKind
+	// Numeric fields: observed range and mean.
+	Min, Max, Mean float64
+	// Distinct is the number of distinct values observed (numeric levels,
+	// flag states or category labels).
+	Distinct int
+	// TrueFrac is the fraction of true values (flags only).
+	TrueFrac float64
+	// Categories lists the observed labels (categorical only), sorted.
+	Categories []string
+}
+
+// Description profiles a whole dataset: every field plus the target.
+type Description struct {
+	Records int
+	Fields  []FieldSummary
+	// Target statistics.
+	TargetName               string
+	TargetMin, TargetMax     float64
+	TargetMean, TargetStdDev float64
+	// TargetRange is max/min (0 when undefined), the paper's §4.1 spread
+	// statistic.
+	TargetRange float64
+}
+
+// Describe profiles the dataset.
+func Describe(d *Dataset) (*Description, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, errors.New("dataset: nothing to describe")
+	}
+	s := d.Schema()
+	desc := &Description{Records: d.Len(), TargetName: s.Target}
+	for fi, f := range s.Fields {
+		fs := FieldSummary{Name: f.Name, Kind: f.Kind}
+		switch f.Kind {
+		case Numeric:
+			seen := map[float64]bool{}
+			sum := 0.0
+			for i := 0; i < d.Len(); i++ {
+				x := d.Row(i)[fi].Float()
+				if i == 0 || x < fs.Min {
+					fs.Min = x
+				}
+				if i == 0 || x > fs.Max {
+					fs.Max = x
+				}
+				sum += x
+				seen[x] = true
+			}
+			fs.Mean = sum / float64(d.Len())
+			fs.Distinct = len(seen)
+		case Flag:
+			trues := 0
+			for i := 0; i < d.Len(); i++ {
+				if d.Row(i)[fi].Bool() {
+					trues++
+				}
+			}
+			fs.TrueFrac = float64(trues) / float64(d.Len())
+			fs.Distinct = 1
+			if trues > 0 && trues < d.Len() {
+				fs.Distinct = 2
+			}
+		case Categorical:
+			seen := map[string]bool{}
+			for i := 0; i < d.Len(); i++ {
+				seen[d.Row(i)[fi].Label()] = true
+			}
+			for c := range seen {
+				fs.Categories = append(fs.Categories, c)
+			}
+			sort.Strings(fs.Categories)
+			fs.Distinct = len(fs.Categories)
+		}
+		desc.Fields = append(desc.Fields, fs)
+	}
+	ys := d.Targets()
+	lo, _ := stat.Min(ys)
+	hi, _ := stat.Max(ys)
+	desc.TargetMin, desc.TargetMax = lo, hi
+	desc.TargetMean = stat.Mean(ys)
+	desc.TargetStdDev = stat.StdDev(ys)
+	if lo > 0 {
+		desc.TargetRange = hi / lo
+	}
+	return desc, nil
+}
+
+// WriteText renders the description as a table.
+func (d *Description) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%d records; target %s: min %.4g max %.4g mean %.4g stddev %.4g",
+		d.Records, d.TargetName, d.TargetMin, d.TargetMax, d.TargetMean, d.TargetStdDev)
+	if d.TargetRange > 0 {
+		fmt.Fprintf(tw, " range %.2f", d.TargetRange)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "field\tkind\tdistinct\tdetail")
+	for _, f := range d.Fields {
+		switch f.Kind {
+		case Numeric:
+			fmt.Fprintf(tw, "%s\t%v\t%d\tmin %.4g max %.4g mean %.4g\n",
+				f.Name, f.Kind, f.Distinct, f.Min, f.Max, f.Mean)
+		case Flag:
+			fmt.Fprintf(tw, "%s\t%v\t%d\t%.0f%% true\n", f.Name, f.Kind, f.Distinct, 100*f.TrueFrac)
+		case Categorical:
+			detail := ""
+			for i, c := range f.Categories {
+				if i > 0 {
+					detail += ", "
+				}
+				if i == 6 {
+					detail += "…"
+					break
+				}
+				detail += c
+			}
+			fmt.Fprintf(tw, "%s\t%v\t%d\t%s\n", f.Name, f.Kind, f.Distinct, detail)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	d := encData(t)
+	desc, err := Describe(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Records != 4 || desc.TargetName != "perf" {
+		t.Fatalf("meta: %+v", desc)
+	}
+	if desc.TargetMin != 10 || desc.TargetMax != 40 || desc.TargetMean != 25 {
+		t.Fatalf("target stats: %+v", desc)
+	}
+	if math.Abs(desc.TargetRange-4) > 1e-12 {
+		t.Fatalf("target range %v", desc.TargetRange)
+	}
+	byName := map[string]FieldSummary{}
+	for _, f := range desc.Fields {
+		byName[f.Name] = f
+	}
+	clock := byName["clock"]
+	if clock.Min != 1000 || clock.Max != 4000 || clock.Mean != 2500 || clock.Distinct != 4 {
+		t.Fatalf("clock summary %+v", clock)
+	}
+	smt := byName["smt"]
+	if smt.TrueFrac != 0.5 || smt.Distinct != 2 {
+		t.Fatalf("smt summary %+v", smt)
+	}
+	bp := byName["bpred"]
+	if bp.Distinct != 3 || bp.Categories[0] != "2level" {
+		t.Fatalf("bpred summary %+v", bp)
+	}
+	l2 := byName["l2lat"]
+	if l2.Distinct != 1 {
+		t.Fatalf("constant field distinct = %d", l2.Distinct)
+	}
+}
+
+func TestDescribeErrors(t *testing.T) {
+	if _, err := Describe(nil); err == nil {
+		t.Fatal("nil: want error")
+	}
+	if _, err := Describe(New(encSchema(t))); err == nil {
+		t.Fatal("empty: want error")
+	}
+}
+
+func TestDescribeWriteText(t *testing.T) {
+	d := encData(t)
+	desc, err := Describe(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := desc.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"4 records", "clock", "bimodal", "% true", "range 4.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Mode selects the encoding convention for a model family.
+type Mode int
+
+const (
+	// ForNN encodes for neural networks: numeric fields min-max scaled to
+	// [0,1], flags to {0,1}, categoricals one-hot. The target is also
+	// scaled to [0,1] (Clementine behaviour; the inverse transform restores
+	// predictions to the original units).
+	ForNN Mode = iota
+	// ForLR encodes for linear regression: numeric fields min-max scaled,
+	// flags to {0,1}, categoricals coerced through their NumericLevels
+	// mapping (then scaled) or omitted entirely when no mapping exists.
+	// The target is left in original units.
+	ForLR
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == ForNN {
+		return "NN"
+	}
+	return "LR"
+}
+
+// column is one encoded input column derived from a schema field.
+type column struct {
+	field int    // index into schema.Fields
+	name  string // derived column name
+	// For one-hot columns: the category this column indicates.
+	category string
+	oneHot   bool
+	// Min-max scaling parameters for numeric-valued columns.
+	min, max float64
+}
+
+// Encoder transforms records into model-ready feature vectors. It is
+// fitted on a training dataset (recording scaling ranges, category sets and
+// constant fields) and then applied consistently to train and test data.
+type Encoder struct {
+	schema *Schema
+	mode   Mode
+	cols   []column
+	// omitted records why each dropped field was dropped, for reporting.
+	omitted map[string]string
+	yMin    float64
+	yMax    float64
+	scaleY  bool
+}
+
+// FitEncoder builds an encoder for the given mode from training data.
+// Fields with no variation in the training data are omitted, as are
+// (under ForLR) categoricals lacking a numeric mapping.
+func FitEncoder(train *Dataset, mode Mode) (*Encoder, error) {
+	if train.Len() == 0 {
+		return nil, errors.New("dataset: cannot fit encoder on empty dataset")
+	}
+	e := &Encoder{
+		schema:  train.Schema(),
+		mode:    mode,
+		omitted: map[string]string{},
+		scaleY:  mode == ForNN,
+	}
+	for fi, f := range e.schema.Fields {
+		switch f.Kind {
+		case Numeric:
+			lo, hi := numericRangeOf(train, fi, nil)
+			if lo == hi {
+				e.omitted[f.Name] = "constant in training data"
+				continue
+			}
+			e.cols = append(e.cols, column{field: fi, name: f.Name, min: lo, max: hi})
+		case Flag:
+			if flagConstant(train, fi) {
+				e.omitted[f.Name] = "constant in training data"
+				continue
+			}
+			e.cols = append(e.cols, column{field: fi, name: f.Name, min: 0, max: 1})
+		case Categorical:
+			cats := categoriesOf(train, fi)
+			if len(cats) < 2 {
+				e.omitted[f.Name] = "constant in training data"
+				continue
+			}
+			if mode == ForLR {
+				if f.NumericLevels == nil {
+					e.omitted[f.Name] = "categorical without numeric mapping (LR cannot use it)"
+					continue
+				}
+				lo, hi := numericRangeOf(train, fi, f.NumericLevels)
+				if lo == hi {
+					e.omitted[f.Name] = "constant after numeric mapping"
+					continue
+				}
+				e.cols = append(e.cols, column{field: fi, name: f.Name, min: lo, max: hi})
+				continue
+			}
+			for _, c := range cats {
+				e.cols = append(e.cols, column{
+					field:    fi,
+					name:     f.Name + "=" + c,
+					category: c,
+					oneHot:   true,
+					min:      0,
+					max:      1,
+				})
+			}
+		}
+	}
+	if len(e.cols) == 0 {
+		return nil, errors.New("dataset: no usable input fields after preparation")
+	}
+	ys := train.Targets()
+	e.yMin, e.yMax = ys[0], ys[0]
+	for _, y := range ys {
+		if y < e.yMin {
+			e.yMin = y
+		}
+		if y > e.yMax {
+			e.yMax = y
+		}
+	}
+	if e.scaleY && e.yMin == e.yMax {
+		return nil, errors.New("dataset: target is constant; nothing to model")
+	}
+	return e, nil
+}
+
+func numericRangeOf(d *Dataset, fi int, levels map[string]float64) (lo, hi float64) {
+	first := true
+	for i := 0; i < d.Len(); i++ {
+		v := d.Row(i)[fi]
+		var x float64
+		if levels != nil {
+			x = levels[v.Label()]
+		} else {
+			x = v.Float()
+		}
+		if first {
+			lo, hi = x, x
+			first = false
+			continue
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func flagConstant(d *Dataset, fi int) bool {
+	if d.Len() == 0 {
+		return true
+	}
+	first := d.Row(0)[fi].Bool()
+	for i := 1; i < d.Len(); i++ {
+		if d.Row(i)[fi].Bool() != first {
+			return false
+		}
+	}
+	return true
+}
+
+func categoriesOf(d *Dataset, fi int) []string {
+	set := map[string]bool{}
+	for i := 0; i < d.Len(); i++ {
+		set[d.Row(i)[fi].Label()] = true
+	}
+	cats := make([]string, 0, len(set))
+	for c := range set {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	return cats
+}
+
+// Mode returns the encoding mode the encoder was fitted with.
+func (e *Encoder) Mode() Mode { return e.mode }
+
+// Schema returns the schema the encoder was fitted over.
+func (e *Encoder) Schema() *Schema { return e.schema }
+
+// ColumnNames returns the derived input column names, in order.
+func (e *Encoder) ColumnNames() []string {
+	out := make([]string, len(e.cols))
+	for i, c := range e.cols {
+		out[i] = c.name
+	}
+	return out
+}
+
+// NumColumns returns the width of encoded feature vectors.
+func (e *Encoder) NumColumns() int { return len(e.cols) }
+
+// Omitted reports fields dropped during preparation and the reason, keyed
+// by field name.
+func (e *Encoder) Omitted() map[string]string {
+	out := make(map[string]string, len(e.omitted))
+	for k, v := range e.omitted {
+		out[k] = v
+	}
+	return out
+}
+
+// SourceField returns the schema field name an encoded column derives from.
+// One-hot columns of the same categorical field share a source field.
+func (e *Encoder) SourceField(col int) string {
+	return e.schema.Fields[e.cols[col].field].Name
+}
+
+// EncodeRow encodes one record into a feature vector.
+func (e *Encoder) EncodeRow(row []Value) ([]float64, error) {
+	if len(row) != len(e.schema.Fields) {
+		return nil, fmt.Errorf("dataset: row has %d values, schema has %d fields", len(row), len(e.schema.Fields))
+	}
+	x := make([]float64, len(e.cols))
+	for ci, c := range e.cols {
+		v := row[c.field]
+		f := e.schema.Fields[c.field]
+		switch {
+		case c.oneHot:
+			if v.Label() == c.category {
+				x[ci] = 1
+			}
+		case f.Kind == Flag:
+			if v.Bool() {
+				x[ci] = 1
+			}
+		case f.Kind == Categorical:
+			// ForLR numeric-mapped categorical.
+			raw, ok := f.NumericLevels[v.Label()]
+			if !ok {
+				return nil, fmt.Errorf("dataset: field %q: category %q has no numeric mapping", f.Name, v.Label())
+			}
+			x[ci] = scale(raw, c.min, c.max)
+		default:
+			x[ci] = scale(v.Float(), c.min, c.max)
+		}
+	}
+	return x, nil
+}
+
+// scale maps raw into [0,1] relative to the training range. Values outside
+// the training range map outside [0,1] — deliberately: chronological
+// prediction extrapolates to next-year systems, and how each model family
+// behaves under extrapolation is part of what the paper measures.
+func scale(raw, lo, hi float64) float64 {
+	return (raw - lo) / (hi - lo)
+}
+
+// Transform encodes a whole dataset into a design matrix X and a target
+// vector Y (target scaled iff the mode scales targets).
+func (e *Encoder) Transform(d *Dataset) (x [][]float64, y []float64, err error) {
+	x = make([][]float64, d.Len())
+	y = make([]float64, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		x[i], err = e.EncodeRow(d.Row(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		y[i] = e.ScaleTarget(d.Target(i))
+	}
+	return x, y, nil
+}
+
+// ScaleTarget maps a raw target to model space (identity for LR mode).
+func (e *Encoder) ScaleTarget(y float64) float64 {
+	if !e.scaleY {
+		return y
+	}
+	return (y - e.yMin) / (e.yMax - e.yMin)
+}
+
+// UnscaleTarget maps a model-space prediction back to raw target units.
+func (e *Encoder) UnscaleTarget(y float64) float64 {
+	if !e.scaleY {
+		return y
+	}
+	return y*(e.yMax-e.yMin) + e.yMin
+}

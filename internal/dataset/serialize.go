@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Serialized forms, versioned so saved models stay loadable.
+
+type fieldState struct {
+	Name          string             `json:"name"`
+	Kind          FieldKind          `json:"kind"`
+	NumericLevels map[string]float64 `json:"numeric_levels,omitempty"`
+}
+
+type schemaState struct {
+	Target string       `json:"target"`
+	Fields []fieldState `json:"fields"`
+}
+
+type columnState struct {
+	Field    int     `json:"field"`
+	Name     string  `json:"name"`
+	Category string  `json:"category,omitempty"`
+	OneHot   bool    `json:"one_hot,omitempty"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+}
+
+type encoderState struct {
+	Version int               `json:"version"`
+	Mode    Mode              `json:"mode"`
+	Schema  schemaState       `json:"schema"`
+	Cols    []columnState     `json:"cols"`
+	Omitted map[string]string `json:"omitted,omitempty"`
+	YMin    float64           `json:"y_min"`
+	YMax    float64           `json:"y_max"`
+	ScaleY  bool              `json:"scale_y"`
+}
+
+const encoderVersion = 1
+
+// MarshalJSON serializes the fitted encoder, including its schema, so a
+// trained predictor can be persisted and later score raw records again.
+func (e *Encoder) MarshalJSON() ([]byte, error) {
+	st := encoderState{
+		Version: encoderVersion,
+		Mode:    e.mode,
+		Schema:  schemaState{Target: e.schema.Target},
+		Omitted: e.omitted,
+		YMin:    e.yMin,
+		YMax:    e.yMax,
+		ScaleY:  e.scaleY,
+	}
+	for _, f := range e.schema.Fields {
+		st.Schema.Fields = append(st.Schema.Fields, fieldState{
+			Name: f.Name, Kind: f.Kind, NumericLevels: f.NumericLevels,
+		})
+	}
+	for _, c := range e.cols {
+		st.Cols = append(st.Cols, columnState{
+			Field: c.field, Name: c.name, Category: c.category,
+			OneHot: c.oneHot, Min: c.min, Max: c.max,
+		})
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalEncoder restores an encoder serialized by MarshalJSON.
+func UnmarshalEncoder(data []byte) (*Encoder, error) {
+	var st encoderState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("dataset: decoding encoder: %w", err)
+	}
+	if st.Version != encoderVersion {
+		return nil, fmt.Errorf("dataset: unsupported encoder version %d", st.Version)
+	}
+	fields := make([]Field, len(st.Schema.Fields))
+	for i, f := range st.Schema.Fields {
+		if f.Kind != Numeric && f.Kind != Flag && f.Kind != Categorical {
+			return nil, fmt.Errorf("dataset: field %q has invalid kind %d", f.Name, f.Kind)
+		}
+		fields[i] = Field{Name: f.Name, Kind: f.Kind, NumericLevels: f.NumericLevels}
+	}
+	schema, err := NewSchema(st.Schema.Target, fields...)
+	if err != nil {
+		return nil, err
+	}
+	e := &Encoder{
+		schema:  schema,
+		mode:    st.Mode,
+		omitted: st.Omitted,
+		yMin:    st.YMin,
+		yMax:    st.YMax,
+		scaleY:  st.ScaleY,
+	}
+	if e.omitted == nil {
+		e.omitted = map[string]string{}
+	}
+	for _, c := range st.Cols {
+		if c.Field < 0 || c.Field >= len(fields) {
+			return nil, fmt.Errorf("dataset: column %q references field %d of %d", c.Name, c.Field, len(fields))
+		}
+		if !c.OneHot && c.Min == c.Max {
+			return nil, fmt.Errorf("dataset: column %q has a degenerate scaling range", c.Name)
+		}
+		e.cols = append(e.cols, column{
+			field: c.Field, name: c.Name, category: c.Category,
+			oneHot: c.OneHot, min: c.Min, max: c.Max,
+		})
+	}
+	if len(e.cols) == 0 {
+		return nil, fmt.Errorf("dataset: encoder has no columns")
+	}
+	if e.scaleY && e.yMin == e.yMax {
+		return nil, fmt.Errorf("dataset: encoder has a degenerate target range")
+	}
+	return e, nil
+}

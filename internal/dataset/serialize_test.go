@@ -1,0 +1,66 @@
+package dataset
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestEncoderSerializeRoundTrip(t *testing.T) {
+	d := encData(t)
+	for _, mode := range []Mode{ForNN, ForLR} {
+		e, err := FitEncoder(d, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalEncoder(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Mode() != mode || back.NumColumns() != e.NumColumns() {
+			t.Fatalf("%v: meta mismatch", mode)
+		}
+		// Encodings must match exactly on every training row.
+		for i := 0; i < d.Len(); i++ {
+			a, err := e.EncodeRow(d.Row(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := back.EncodeRow(d.Row(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("%v: row %d col %d: %v vs %v", mode, i, j, a[j], b[j])
+				}
+			}
+		}
+		if e.ScaleTarget(17) != back.ScaleTarget(17) || e.UnscaleTarget(0.3) != back.UnscaleTarget(0.3) {
+			t.Fatalf("%v: target scaling differs", mode)
+		}
+		if len(back.Omitted()) != len(e.Omitted()) {
+			t.Fatalf("%v: omitted map lost", mode)
+		}
+	}
+}
+
+func TestUnmarshalEncoderRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`garbage`,
+		`{"version":2}`,
+		`{"version":1,"schema":{"target":"y","fields":[{"name":"a","kind":0}]},"cols":[]}`,
+		`{"version":1,"schema":{"target":"y","fields":[{"name":"a","kind":0}]},"cols":[{"field":5,"name":"a","min":0,"max":1}]}`,
+		`{"version":1,"schema":{"target":"y","fields":[{"name":"a","kind":0}]},"cols":[{"field":0,"name":"a","min":1,"max":1}]}`,
+		`{"version":1,"schema":{"target":"y","fields":[{"name":"a","kind":7}]},"cols":[{"field":0,"name":"a","min":0,"max":1}]}`,
+		`{"version":1,"scale_y":true,"y_min":1,"y_max":1,"schema":{"target":"y","fields":[{"name":"a","kind":0}]},"cols":[{"field":0,"name":"a","min":0,"max":1}]}`,
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalEncoder([]byte(c)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

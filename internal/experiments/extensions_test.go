@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perfpred/internal/core"
+)
+
+func TestRunPerAppChrono(t *testing.T) {
+	cfg := fastCfg()
+	kinds := []core.ModelKind{core.LRE, core.NNS}
+	s, err := RunPerAppChrono("Pentium D", kinds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 12 {
+		t.Fatalf("%d apps, want 12", len(s.Results))
+	}
+	if s.RateBest <= 0 {
+		t.Fatal("no rate reference")
+	}
+	for _, r := range s.Results {
+		if r.BestTrue <= 0 || r.BestTrue > 50 {
+			t.Fatalf("%s: implausible error %.2f", r.App, r.BestTrue)
+		}
+		if r.LRTrue <= 0 || r.NNTrue <= 0 {
+			t.Fatalf("%s: family split missing", r.App)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "twolf") {
+		t.Fatal("render missing an application")
+	}
+	if _, err := RunPerAppChrono("Itanium", kinds, cfg); err == nil {
+		t.Fatal("unknown family: want error")
+	}
+}
+
+// TestPerAppAccuracyComparableToRate checks the paper's claim that
+// individual applications "can also be accurately estimated": the median
+// per-app best error should be in the same regime as the rate experiment.
+func TestPerAppAccuracyComparableToRate(t *testing.T) {
+	cfg := fastCfg()
+	cfg.EpochScale = 0.4
+	s, err := RunPerAppChrono("Pentium D", []core.ModelKind{core.LRE, core.LRB}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := 0
+	for _, r := range s.Results {
+		if r.BestTrue > 4*s.RateBest+5 {
+			over++
+		}
+	}
+	if over > 3 {
+		t.Fatalf("%d of 12 apps much worse than the rate experiment (%.2f%%)", over, s.RateBest)
+	}
+}
+
+func TestRunRollingChrono(t *testing.T) {
+	cfg := fastCfg()
+	kinds := []core.ModelKind{core.LRE, core.LRB}
+	s, err := RunRollingChrono("Opteron 2", kinds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opteron 2 has 2003..2006 → three adjacent pairs.
+	if len(s.Results) != 3 {
+		t.Fatalf("%d pairs", len(s.Results))
+	}
+	for _, r := range s.Results {
+		if r.TestYear != r.TrainYear+1 {
+			t.Fatalf("pair %d→%d not adjacent", r.TrainYear, r.TestYear)
+		}
+		if r.BestTrue <= 0 || r.BestTrue > 50 {
+			t.Fatalf("%d→%d error %.2f implausible", r.TrainYear, r.TestYear, r.BestTrue)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2005→2006") {
+		t.Fatalf("render missing final pair:\n%s", buf.String())
+	}
+	if _, err := RunRollingChrono("Itanium", kinds, cfg); err == nil {
+		t.Fatal("unknown family: want error")
+	}
+}
+
+func TestRunSelectAblation(t *testing.T) {
+	ab, err := RunSelectAblation("applu", 0.3, []core.ModelKind{core.LRB, core.NNS}, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.MaxTrue <= 0 || ab.MeanTrue <= 0 || ab.BestTrue <= 0 {
+		t.Fatalf("degenerate ablation %+v", ab)
+	}
+	// Both criteria must pick an available model and cannot beat the oracle.
+	if ab.MaxTrue < ab.BestTrue-1e-9 || ab.MeanTrue < ab.BestTrue-1e-9 {
+		t.Fatalf("criterion beat the oracle: %+v", ab)
+	}
+}
+
+func TestRunSamplingAblation(t *testing.T) {
+	ab, err := RunSamplingAblation("applu", 0.25, core.NNS, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.RandomTrue <= 0 || ab.SystematicTrue <= 0 {
+		t.Fatalf("degenerate ablation %+v", ab)
+	}
+	if ab.Kind != core.NNS {
+		t.Fatal("kind lost")
+	}
+}
+
+// TestCrossFamilyDegrades reproduces the paper's §4.1 rationale for
+// per-family analysis: a model trained on one family fails on another.
+func TestCrossFamilyDegrades(t *testing.T) {
+	cfg := fastCfg()
+	r, err := RunCrossFamily("Xeon", "Opteron", core.LRE, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WithinTrue <= 0 || r.CrossTrue <= 0 {
+		t.Fatalf("degenerate result %+v", r)
+	}
+	if r.CrossTrue < 3*r.WithinTrue {
+		t.Fatalf("cross-family error %.2f should dwarf within-family %.2f", r.CrossTrue, r.WithinTrue)
+	}
+	if _, err := RunCrossFamily("Itanium", "Xeon", core.LRE, cfg); err == nil {
+		t.Fatal("unknown train family: want error")
+	}
+	if _, err := RunCrossFamily("Xeon", "Itanium", core.LRE, cfg); err == nil {
+		t.Fatal("unknown test family: want error")
+	}
+}
+
+func TestRunLearningCurve(t *testing.T) {
+	cfg := fastCfg()
+	lc, err := RunLearningCurve("applu", core.NNS, []float64{0.1, 0.3, 0.6}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lc.TrueMAPE) != 3 {
+		t.Fatalf("%d points", len(lc.TrueMAPE))
+	}
+	for _, e := range lc.TrueMAPE {
+		if e <= 0 || e > 60 {
+			t.Fatalf("implausible error %v", e)
+		}
+	}
+	// More data should not make things dramatically worse end-to-end.
+	if lc.TrueMAPE[2] > 2*lc.TrueMAPE[0]+2 {
+		t.Fatalf("error grew with data: %v", lc.TrueMAPE)
+	}
+	var buf bytes.Buffer
+	if err := lc.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Learning curve") {
+		t.Fatal("render missing title")
+	}
+	if _, err := RunLearningCurve("applu", core.NNS, nil, cfg); err == nil {
+		t.Fatal("no fractions: want error")
+	}
+}

@@ -1,0 +1,99 @@
+package linreg
+
+import (
+	"errors"
+	"math"
+
+	"perfpred/internal/stat"
+)
+
+// Summary carries the ANOVA-style fit statistics of a regression (cf.
+// Montgomery, Peck & Vining, the reference the paper cites for its
+// least-squares machinery).
+type Summary struct {
+	// N is the number of observations; P the number of retained
+	// predictors (intercept excluded).
+	N, P int
+	// R2 and AdjR2 are the (adjusted) coefficients of determination.
+	R2, AdjR2 float64
+	// SigmaHat is the residual standard error.
+	SigmaHat float64
+	// FStat and FPValue test the overall regression (all slopes zero).
+	// Both are NaN when the residual degrees of freedom are exhausted or
+	// the model kept no predictors.
+	FStat, FPValue float64
+}
+
+// Summary returns the fit statistics of the model on its training data.
+func (m *Model) Summary() Summary {
+	s := Summary{
+		N:        m.n,
+		P:        len(m.selected),
+		R2:       m.R2(),
+		FStat:    math.NaN(),
+		FPValue:  math.NaN(),
+		SigmaHat: math.NaN(),
+		AdjR2:    math.NaN(),
+	}
+	dfResid := m.n - s.P - 1
+	if dfResid > 0 {
+		s.SigmaHat = math.Sqrt(m.rss / float64(dfResid))
+		if m.tss > 0 {
+			s.AdjR2 = 1 - (m.rss/float64(dfResid))/(m.tss/float64(m.n-1))
+		}
+	}
+	if s.P > 0 && dfResid > 0 && m.rss > 0 {
+		ssr := m.tss - m.rss
+		if ssr < 0 {
+			ssr = 0
+		}
+		s.FStat = (ssr / float64(s.P)) / (m.rss / float64(dfResid))
+		if p, err := stat.FSurvival(s.FStat, float64(s.P), float64(dfResid)); err == nil {
+			s.FPValue = p
+		}
+	}
+	return s
+}
+
+// PredictInterval returns the point prediction for x and a two-sided
+// (1−alpha) prediction interval for a new observation at x, using the
+// standard leverage formula ŷ ± t(1−α/2, n−p−1)·σ̂·√(1 + x̃ᵀ(XᵀX)⁻¹x̃).
+// It requires a full-rank fit with positive residual degrees of freedom.
+func (m *Model) PredictInterval(x []float64, alpha float64) (yhat, lo, hi float64, err error) {
+	yhat = m.Predict(x)
+	if alpha <= 0 || alpha >= 1 {
+		return yhat, 0, 0, errors.New("linreg: alpha must be in (0,1)")
+	}
+	if m.inv == nil {
+		return yhat, 0, 0, errors.New("linreg: prediction intervals need a full-rank fit")
+	}
+	dfResid := m.n - len(m.selected) - 1
+	if dfResid <= 0 {
+		return yhat, 0, 0, errors.New("linreg: no residual degrees of freedom")
+	}
+	sigma2 := m.rss / float64(dfResid)
+	// x̃ is the design row in the fitted subset's basis: [1, x_selected...].
+	xt := make([]float64, 1+len(m.selected))
+	xt[0] = 1
+	for si, j := range m.selected {
+		if j >= len(x) {
+			return yhat, 0, 0, errors.New("linreg: input row narrower than the fitted design")
+		}
+		xt[si+1] = x[j]
+	}
+	leverage := 0.0
+	for i := range xt {
+		for j := range xt {
+			leverage += xt[i] * m.inv[i][j] * xt[j]
+		}
+	}
+	if leverage < 0 {
+		leverage = 0
+	}
+	tcrit, err := stat.StudentTQuantile(1-alpha/2, float64(dfResid))
+	if err != nil {
+		return yhat, 0, 0, err
+	}
+	half := tcrit * math.Sqrt(sigma2*(1+leverage))
+	return yhat, yhat - half, yhat + half, nil
+}

@@ -1,0 +1,154 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryOnStrongFit(t *testing.T) {
+	x, y := synth(51, 300, 0.05)
+	m, err := Fit(x, y, nil, Options{Method: Enter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summary()
+	if s.N != 300 || s.P != 4 {
+		t.Fatalf("N/P = %d/%d", s.N, s.P)
+	}
+	if s.R2 < 0.99 || s.AdjR2 < 0.99 || s.AdjR2 > s.R2 {
+		t.Fatalf("R2 %.4f AdjR2 %.4f", s.R2, s.AdjR2)
+	}
+	// σ̂ should recover the generating noise (0.05) roughly.
+	if s.SigmaHat < 0.03 || s.SigmaHat > 0.08 {
+		t.Fatalf("SigmaHat = %.4f, want ≈0.05", s.SigmaHat)
+	}
+	if !(s.FStat > 100) || !(s.FPValue < 1e-9) {
+		t.Fatalf("F = %.1f p = %v; a strong fit should be overwhelmingly significant", s.FStat, s.FPValue)
+	}
+}
+
+func TestSummaryInterceptOnly(t *testing.T) {
+	// A constant target keeps no predictors; the F test is undefined.
+	x := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = []float64{float64(i % 7)}
+		y[i] = 5
+	}
+	m, err := Fit(x, y, nil, Options{Method: Forward})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summary()
+	if s.P != 0 {
+		t.Fatalf("P = %d", s.P)
+	}
+	if !math.IsNaN(s.FStat) {
+		t.Fatalf("F on intercept-only model should be NaN, got %v", s.FStat)
+	}
+}
+
+func TestPredictIntervalCoverage(t *testing.T) {
+	// Empirical coverage check: ~95% of held-out points should fall inside
+	// their 95% prediction interval.
+	xtr, ytr := synth(52, 200, 0.2)
+	xte, yte := synth(53, 400, 0.2)
+	m, err := Fit(xtr, ytr, nil, Options{Method: Enter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := 0
+	for i := range xte {
+		_, lo, hi, err := m.PredictInterval(xte[i], 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo >= hi {
+			t.Fatalf("degenerate interval [%v, %v]", lo, hi)
+		}
+		if yte[i] >= lo && yte[i] <= hi {
+			inside++
+		}
+	}
+	cov := float64(inside) / float64(len(xte))
+	if cov < 0.90 || cov > 0.99 {
+		t.Fatalf("95%% interval covered %.1f%% of held-out points", 100*cov)
+	}
+}
+
+func TestPredictIntervalWidensWithLeverage(t *testing.T) {
+	xtr, ytr := synth(54, 150, 0.1)
+	m, err := Fit(xtr, ytr, nil, Options{Method: Enter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A central point (inputs near 0.5) vs. an extrapolated one (inputs 3).
+	_, lo1, hi1, err := m.PredictInterval([]float64{0.5, 0.5, 0.5, 0.5}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lo2, hi2, err := m.PredictInterval([]float64{3, 3, 3, 3}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (hi2 - lo2) <= (hi1 - lo1) {
+		t.Fatalf("extrapolation interval (%.3f) should be wider than interpolation (%.3f)",
+			hi2-lo2, hi1-lo1)
+	}
+}
+
+func TestPredictIntervalErrors(t *testing.T) {
+	xtr, ytr := synth(55, 100, 0.1)
+	m, err := Fit(xtr, ytr, nil, Options{Method: Enter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := m.PredictInterval(xtr[0], 0); err == nil {
+		t.Fatal("alpha=0: want error")
+	}
+	if _, _, _, err := m.PredictInterval(xtr[0], 1); err == nil {
+		t.Fatal("alpha=1: want error")
+	}
+	// Collinear design → rank deficient → no intervals.
+	xc := make([][]float64, 30)
+	yc := make([]float64, 30)
+	for i := range xc {
+		a := float64(i) / 30
+		xc[i] = []float64{a, 2 * a}
+		yc[i] = a
+	}
+	mc, err := Fit(xc, yc, nil, Options{Method: Enter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := mc.PredictInterval([]float64{0.5, 1}, 0.05); err == nil {
+		t.Fatal("rank-deficient fit: want error")
+	}
+}
+
+func TestPredictIntervalSurvivesSerialization(t *testing.T) {
+	xtr, ytr := synth(56, 120, 0.1)
+	m, err := Fit(xtr, ytr, nil, Options{Method: Enter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y1, lo1, hi1, err := m.PredictInterval(xtr[3], 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, lo2, hi2, err := back.PredictInterval(xtr[3], 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y1 != y2 || lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("intervals differ after round trip")
+	}
+}

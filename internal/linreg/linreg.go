@@ -1,0 +1,430 @@
+package linreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"perfpred/internal/stat"
+)
+
+// Method selects the Clementine variable-selection strategy.
+type Method int
+
+const (
+	// Enter (LR-E) uses every predictor.
+	Enter Method = iota
+	// Forward (LR-F) starts empty and adds the most significant predictor
+	// while its F-to-enter p-value is below PEnter.
+	Forward
+	// Backward (LR-B) starts full and removes the least significant
+	// predictor while its F-to-remove p-value is above PRemove. The paper
+	// found this the best LR method for the sampled design space.
+	Backward
+	// Stepwise (LR-S) alternates Forward additions with Backward removals.
+	Stepwise
+)
+
+// String returns the paper's short name for the method.
+func (m Method) String() string {
+	switch m {
+	case Enter:
+		return "LR-E"
+	case Forward:
+		return "LR-F"
+	case Backward:
+		return "LR-B"
+	case Stepwise:
+		return "LR-S"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists all four selection methods in the paper's Figure 7/8 order.
+func Methods() []Method { return []Method{Enter, Stepwise, Backward, Forward} }
+
+// Options configures a fit.
+type Options struct {
+	Method Method
+	// PEnter is the p-value threshold to admit a predictor (Forward,
+	// Stepwise). Zero means the SPSS default 0.05.
+	PEnter float64
+	// PRemove is the p-value threshold to drop a predictor (Backward,
+	// Stepwise). Zero means the SPSS default 0.10.
+	PRemove float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PEnter == 0 {
+		o.PEnter = 0.05
+	}
+	if o.PRemove == 0 {
+		o.PRemove = 0.10
+	}
+	return o
+}
+
+// Coefficient describes one fitted predictor.
+type Coefficient struct {
+	Name string
+	// Beta is the raw coefficient in encoded-input units.
+	Beta float64
+	// StdBeta is the standardized coefficient (relative importance,
+	// paper §4.4).
+	StdBeta float64
+	// StdErr is the coefficient's standard error (NaN when the residual
+	// degrees of freedom are exhausted).
+	StdErr float64
+	// P is the two-sided p-value of the coefficient's t test (NaN when
+	// undefined).
+	P float64
+}
+
+// Model is a fitted linear-regression model.
+type Model struct {
+	opts      Options
+	names     []string
+	selected  []int // design-column indices included in the model
+	intercept float64
+	coef      []float64 // len = total columns; zero for unselected
+	coeffs    []Coefficient
+	rss       float64
+	tss       float64
+	n         int
+	// inv is (XᵀX)⁻¹ in the fitted subset's basis ([1 | selected...]),
+	// available for full-rank fits; prediction intervals use it.
+	inv [][]float64
+}
+
+// Fit fits a linear regression of y on x using the configured selection
+// method. names labels the columns of x (used in coefficient reports);
+// pass nil to auto-name columns.
+func Fit(x [][]float64, y []float64, names []string, opts Options) (*Model, error) {
+	opts = opts.withDefaults()
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("linreg: no observations")
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("linreg: no predictors")
+	}
+	if len(y) != n {
+		return nil, errors.New("linreg: y length mismatch")
+	}
+	if names == nil {
+		names = make([]string, p)
+		for j := range names {
+			names[j] = fmt.Sprintf("x%d", j)
+		}
+	}
+	if len(names) != p {
+		return nil, errors.New("linreg: names length mismatch")
+	}
+	if n < 3 {
+		return nil, errors.New("linreg: need at least 3 observations")
+	}
+
+	m := &Model{opts: opts, names: names, n: n}
+	ymean := stat.Mean(y)
+	for _, yi := range y {
+		d := yi - ymean
+		m.tss += d * d
+	}
+
+	var selected []int
+	var err error
+	switch opts.Method {
+	case Enter:
+		selected = seqInts(p)
+	case Forward:
+		selected, err = selectForward(x, y, opts, false)
+	case Stepwise:
+		selected, err = selectForward(x, y, opts, true)
+	case Backward:
+		selected, err = selectBackward(x, y, opts)
+	default:
+		return nil, fmt.Errorf("linreg: unknown method %v", opts.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(selected) == 0 {
+		// No predictor clears the threshold: intercept-only model.
+		m.intercept = ymean
+		m.coef = make([]float64, p)
+		m.rss = m.tss
+		return m, nil
+	}
+	sort.Ints(selected)
+	m.selected = selected
+
+	res, err := fitSubset(x, y, selected)
+	if err != nil {
+		return nil, err
+	}
+	m.intercept = res.beta[0]
+	m.coef = make([]float64, p)
+	for si, j := range selected {
+		m.coef[j] = res.beta[si+1]
+	}
+	m.rss = res.rss
+	m.inv = res.inv
+
+	// Coefficient table: standard errors, t tests, standardized betas.
+	dfResid := n - len(selected) - 1
+	var sigma2 float64
+	if dfResid > 0 {
+		sigma2 = res.rss / float64(dfResid)
+	} else {
+		sigma2 = math.NaN()
+	}
+	sy := stat.SampleStdDev(y)
+	for si, j := range selected {
+		col := make([]float64, n)
+		for i := range x {
+			col[i] = x[i][j]
+		}
+		sx := stat.SampleStdDev(col)
+		c := Coefficient{Name: names[j], Beta: res.beta[si+1]}
+		if sy > 0 {
+			c.StdBeta = c.Beta * sx / sy
+		}
+		if !math.IsNaN(sigma2) && !math.IsNaN(res.invDiag[si+1]) {
+			c.StdErr = math.Sqrt(sigma2 * res.invDiag[si+1])
+			if c.StdErr > 0 {
+				pv, perr := stat.TTestPValue(c.Beta/c.StdErr, float64(dfResid))
+				if perr == nil {
+					c.P = pv
+				} else {
+					c.P = math.NaN()
+				}
+			} else {
+				c.P = math.NaN()
+			}
+		} else {
+			c.StdErr = math.NaN()
+			c.P = math.NaN()
+		}
+		m.coeffs = append(m.coeffs, c)
+	}
+	return m, nil
+}
+
+func seqInts(p int) []int {
+	s := make([]int, p)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// fitSubset solves least squares on [1 | x[:,subset]].
+func fitSubset(x [][]float64, y []float64, subset []int) (*lsqResult, error) {
+	n := len(x)
+	design := make([][]float64, n)
+	for i := range x {
+		row := make([]float64, 1+len(subset))
+		row[0] = 1
+		for sj, j := range subset {
+			row[sj+1] = x[i][j]
+		}
+		design[i] = row
+	}
+	return solveLS(design, y)
+}
+
+// rssOf returns the residual sum of squares of the subset model.
+func rssOf(x [][]float64, y []float64, subset []int) (float64, error) {
+	res, err := fitSubset(x, y, subset)
+	if err != nil {
+		return 0, err
+	}
+	return res.rss, nil
+}
+
+// partialFPValue returns the p-value of the partial F test comparing the
+// full model (rssFull, pFull predictors) to the model with one fewer
+// predictor (rssReduced).
+func partialFPValue(rssReduced, rssFull float64, n, pFull int) float64 {
+	dfResid := n - pFull - 1
+	if dfResid <= 0 {
+		return math.NaN()
+	}
+	num := rssReduced - rssFull
+	if num < 0 {
+		num = 0
+	}
+	den := rssFull / float64(dfResid)
+	if den <= 0 {
+		// A perfect fit: any added predictor is maximally significant.
+		if num > 0 {
+			return 0
+		}
+		return 1
+	}
+	f := num / den
+	p, err := stat.FSurvival(f, 1, float64(dfResid))
+	if err != nil {
+		return math.NaN()
+	}
+	return p
+}
+
+// selectForward implements Forward selection; with stepwise=true it runs a
+// Backward removal sweep after every addition (Stepwise).
+func selectForward(x [][]float64, y []float64, opts Options, stepwise bool) ([]int, error) {
+	n := len(x)
+	p := len(x[0])
+	inModel := make([]bool, p)
+	var current []int
+	rssCur, err := rssOf(x, y, nil)
+	if err != nil {
+		return nil, err
+	}
+	for len(current) < p {
+		if n-(len(current)+1)-1 <= 0 {
+			break // no residual degrees of freedom left for a test
+		}
+		bestJ, bestP, bestRSS := -1, math.Inf(1), 0.0
+		for j := 0; j < p; j++ {
+			if inModel[j] {
+				continue
+			}
+			cand := append(append([]int(nil), current...), j)
+			rss, err := rssOf(x, y, cand)
+			if err != nil {
+				return nil, err
+			}
+			pv := partialFPValue(rssCur, rss, n, len(cand))
+			if math.IsNaN(pv) {
+				continue
+			}
+			if pv < bestP || (pv == bestP && rss < bestRSS) {
+				bestJ, bestP, bestRSS = j, pv, rss
+			}
+		}
+		if bestJ < 0 || bestP > opts.PEnter {
+			break
+		}
+		inModel[bestJ] = true
+		current = append(current, bestJ)
+		rssCur = bestRSS
+		if stepwise {
+			var err error
+			current, rssCur, err = removeSweep(x, y, current, opts)
+			if err != nil {
+				return nil, err
+			}
+			for j := range inModel {
+				inModel[j] = false
+			}
+			for _, j := range current {
+				inModel[j] = true
+			}
+		}
+	}
+	return current, nil
+}
+
+// removeSweep repeatedly drops the least significant predictor whose
+// F-to-remove p-value exceeds PRemove. Returns the surviving set and RSS.
+func removeSweep(x [][]float64, y []float64, current []int, opts Options) ([]int, float64, error) {
+	n := len(x)
+	rssCur, err := rssOf(x, y, current)
+	if err != nil {
+		return nil, 0, err
+	}
+	for len(current) > 0 {
+		worstI, worstP := -1, -1.0
+		var worstRSS float64
+		for i := range current {
+			reduced := make([]int, 0, len(current)-1)
+			reduced = append(reduced, current[:i]...)
+			reduced = append(reduced, current[i+1:]...)
+			rssRed, err := rssOf(x, y, reduced)
+			if err != nil {
+				return nil, 0, err
+			}
+			pv := partialFPValue(rssRed, rssCur, n, len(current))
+			if math.IsNaN(pv) {
+				// Degenerate d.f.: treat the predictor as removable so the
+				// model shrinks to something testable.
+				pv = 1
+			}
+			if pv > worstP {
+				worstI, worstP, worstRSS = i, pv, rssRed
+			}
+		}
+		if worstI < 0 || worstP < opts.PRemove {
+			break
+		}
+		current = append(current[:worstI], current[worstI+1:]...)
+		rssCur = worstRSS
+	}
+	return current, rssCur, nil
+}
+
+// selectBackward implements Backward elimination from the full model.
+func selectBackward(x [][]float64, y []float64, opts Options) ([]int, error) {
+	p := len(x[0])
+	current := seqInts(p)
+	out, _, err := removeSweep(x, y, current, opts)
+	return out, err
+}
+
+// Predict returns the model's prediction for one encoded input row.
+func (m *Model) Predict(x []float64) float64 {
+	yhat := m.intercept
+	for _, j := range m.selected {
+		yhat += m.coef[j] * x[j]
+	}
+	return yhat
+}
+
+// PredictAll returns predictions for a batch of rows.
+func (m *Model) PredictAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// Intercept returns the fitted intercept β₀.
+func (m *Model) Intercept() float64 { return m.intercept }
+
+// Coefficients returns the fitted coefficient table (selected predictors
+// only), in design-column order.
+func (m *Model) Coefficients() []Coefficient {
+	return append([]Coefficient(nil), m.coeffs...)
+}
+
+// SelectedNames returns the names of the predictors retained by the
+// selection method.
+func (m *Model) SelectedNames() []string {
+	out := make([]string, len(m.selected))
+	for i, j := range m.selected {
+		out[i] = m.names[j]
+	}
+	return out
+}
+
+// NumSelected returns how many predictors the model retained.
+func (m *Model) NumSelected() int { return len(m.selected) }
+
+// RSS returns the residual sum of squares on the training data.
+func (m *Model) RSS() float64 { return m.rss }
+
+// R2 returns the coefficient of determination on the training data.
+func (m *Model) R2() float64 {
+	if m.tss == 0 {
+		return 0
+	}
+	return 1 - m.rss/m.tss
+}
+
+// Method returns the selection method used.
+func (m *Model) Method() Method { return m.opts.Method }

@@ -1,0 +1,220 @@
+// Package linreg implements the paper's four linear-regression models
+// (§3.1): multiple linear regression fitted by least squares, with the four
+// SPSS Clementine variable-selection methods — Enter (LR-E, all
+// predictors), Forwards (LR-F), Backwards (LR-B) and Stepwise (LR-S) —
+// driven by partial F tests. Standardized beta coefficients quantify
+// predictor importance as reported in the paper's §4.4.
+package linreg
+
+import (
+	"errors"
+	"math"
+)
+
+// lsqResult holds the output of one least-squares solve.
+type lsqResult struct {
+	beta []float64 // coefficient per design-matrix column (incl. intercept)
+	rss  float64   // residual sum of squares
+	rank int       // numerical rank of the design matrix
+	// invDiag is diag((XᵀX)⁻¹) for full-rank columns (NaN for dropped
+	// columns); used for coefficient standard errors.
+	invDiag []float64
+	// inv is the full (XᵀX)⁻¹ when the design matrix has full column rank
+	// (nil otherwise); used for prediction-interval leverage terms.
+	inv [][]float64
+}
+
+// solveLS solves min ‖Xb − y‖² by Householder QR with column pivoting.
+// X is n×m (rows are observations). Rank-deficient columns get zero
+// coefficients. The inputs are not modified.
+func solveLS(x [][]float64, y []float64) (*lsqResult, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("linreg: no observations")
+	}
+	m := len(x[0])
+	if m == 0 {
+		return nil, errors.New("linreg: no design columns")
+	}
+	if len(y) != n {
+		return nil, errors.New("linreg: y length mismatch")
+	}
+	// Working copies, column-major for cache-friendly Householder updates.
+	a := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if len(x[i]) != m {
+				return nil, errors.New("linreg: ragged design matrix")
+			}
+			col[i] = x[i][j]
+		}
+		a[j] = col
+	}
+	b := append([]float64(nil), y...)
+
+	perm := make([]int, m)
+	for j := range perm {
+		perm[j] = j
+	}
+	colNorm := make([]float64, m)
+	maxNorm := 0.0
+	for j := 0; j < m; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += a[j][i] * a[j][i]
+		}
+		colNorm[j] = s
+		if s > maxNorm {
+			maxNorm = s
+		}
+	}
+	tol := math.Sqrt(maxNorm) * 1e-10
+	if tol == 0 {
+		tol = 1e-12
+	}
+
+	steps := m
+	if n < m {
+		steps = n
+	}
+	rank := 0
+	for k := 0; k < steps; k++ {
+		// Column pivot: bring the column with the largest remaining norm to k.
+		best, bestNorm := k, 0.0
+		for j := k; j < m; j++ {
+			s := 0.0
+			for i := k; i < n; i++ {
+				s += a[j][i] * a[j][i]
+			}
+			if s > bestNorm {
+				best, bestNorm = j, s
+			}
+		}
+		if math.Sqrt(bestNorm) <= tol {
+			break
+		}
+		if best != k {
+			a[k], a[best] = a[best], a[k]
+			perm[k], perm[best] = perm[best], perm[k]
+		}
+		// Householder vector v for column k (rows k..n-1).
+		alpha := math.Sqrt(bestNorm)
+		if a[k][k] > 0 {
+			alpha = -alpha
+		}
+		v := make([]float64, n-k)
+		v[0] = a[k][k] - alpha
+		for i := k + 1; i < n; i++ {
+			v[i-k] = a[k][i]
+		}
+		vnorm2 := 0.0
+		for _, vi := range v {
+			vnorm2 += vi * vi
+		}
+		if vnorm2 == 0 {
+			break
+		}
+		a[k][k] = alpha
+		for i := k + 1; i < n; i++ {
+			a[k][i] = 0
+		}
+		// Apply the reflector to the remaining columns and to b.
+		for j := k + 1; j < m; j++ {
+			dot := 0.0
+			for i := k; i < n; i++ {
+				dot += v[i-k] * a[j][i]
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < n; i++ {
+				a[j][i] -= f * v[i-k]
+			}
+		}
+		dot := 0.0
+		for i := k; i < n; i++ {
+			dot += v[i-k] * b[i]
+		}
+		f := 2 * dot / vnorm2
+		for i := k; i < n; i++ {
+			b[i] -= f * v[i-k]
+		}
+		rank++
+	}
+
+	// Back substitution on the rank×rank upper-triangular system.
+	bt := make([]float64, rank)
+	for i := rank - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < rank; j++ {
+			s -= a[j][i] * bt[j]
+		}
+		bt[i] = s / a[i][i]
+	}
+	beta := make([]float64, m)
+	for j := 0; j < rank; j++ {
+		beta[perm[j]] = bt[j]
+	}
+
+	rss := 0.0
+	for i := rank; i < n; i++ {
+		rss += b[i] * b[i]
+	}
+
+	// diag((XᵀX)⁻¹) = row norms² of R⁻¹ for the selected columns.
+	invDiag := make([]float64, m)
+	for j := range invDiag {
+		invDiag[j] = math.NaN()
+	}
+	var inv [][]float64
+	if rank > 0 {
+		rInv := invertUpper(a, rank)
+		for i := 0; i < rank; i++ {
+			s := 0.0
+			for j := i; j < rank; j++ {
+				s += rInv[i][j] * rInv[i][j]
+			}
+			invDiag[perm[i]] = s
+		}
+		if rank == m {
+			// Full (XᵀX)⁻¹ = R⁻¹ R⁻ᵀ, un-permuted.
+			inv = make([][]float64, m)
+			for i := range inv {
+				inv[i] = make([]float64, m)
+			}
+			for i := 0; i < rank; i++ {
+				for j := 0; j < rank; j++ {
+					s := 0.0
+					k := i
+					if j > i {
+						k = j
+					}
+					for ; k < rank; k++ {
+						s += rInv[i][k] * rInv[j][k]
+					}
+					inv[perm[i]][perm[j]] = s
+				}
+			}
+		}
+	}
+	return &lsqResult{beta: beta, rss: rss, rank: rank, invDiag: invDiag, inv: inv}, nil
+}
+
+// invertUpper inverts the leading rank×rank upper-triangular block of the
+// factored matrix (stored column-major in a). Returns row-major R⁻¹.
+func invertUpper(a [][]float64, rank int) [][]float64 {
+	inv := make([][]float64, rank)
+	for i := range inv {
+		inv[i] = make([]float64, rank)
+	}
+	for j := rank - 1; j >= 0; j-- {
+		inv[j][j] = 1 / a[j][j]
+		for i := j - 1; i >= 0; i-- {
+			s := 0.0
+			for k := i + 1; k <= j; k++ {
+				s += a[k][i] * inv[k][j]
+			}
+			inv[i][j] = -s / a[i][i]
+		}
+	}
+	return inv
+}

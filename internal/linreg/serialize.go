@@ -1,0 +1,75 @@
+package linreg
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type modelState struct {
+	Version   int           `json:"version"`
+	Method    Method        `json:"method"`
+	PEnter    float64       `json:"p_enter"`
+	PRemove   float64       `json:"p_remove"`
+	Names     []string      `json:"names"`
+	Selected  []int         `json:"selected"`
+	Intercept float64       `json:"intercept"`
+	Coef      []float64     `json:"coef"`
+	Coeffs    []Coefficient `json:"coeffs"`
+	RSS       float64       `json:"rss"`
+	TSS       float64       `json:"tss"`
+	N         int           `json:"n"`
+	Inv       [][]float64   `json:"inv,omitempty"`
+}
+
+const modelVersion = 1
+
+// MarshalJSON serializes the fitted model so it can be persisted and later
+// used for prediction without refitting.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelState{
+		Version:   modelVersion,
+		Method:    m.opts.Method,
+		PEnter:    m.opts.PEnter,
+		PRemove:   m.opts.PRemove,
+		Names:     m.names,
+		Selected:  m.selected,
+		Intercept: m.intercept,
+		Coef:      m.coef,
+		Coeffs:    m.coeffs,
+		RSS:       m.rss,
+		TSS:       m.tss,
+		N:         m.n,
+		Inv:       m.inv,
+	})
+}
+
+// UnmarshalModel restores a model serialized by MarshalJSON.
+func UnmarshalModel(data []byte) (*Model, error) {
+	var st modelState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("linreg: decoding model: %w", err)
+	}
+	if st.Version != modelVersion {
+		return nil, fmt.Errorf("linreg: unsupported model version %d", st.Version)
+	}
+	if len(st.Coef) != len(st.Names) {
+		return nil, fmt.Errorf("linreg: %d coefficients for %d names", len(st.Coef), len(st.Names))
+	}
+	for _, j := range st.Selected {
+		if j < 0 || j >= len(st.Coef) {
+			return nil, fmt.Errorf("linreg: selected index %d out of range", j)
+		}
+	}
+	return &Model{
+		opts:      Options{Method: st.Method, PEnter: st.PEnter, PRemove: st.PRemove},
+		names:     st.Names,
+		selected:  st.Selected,
+		intercept: st.Intercept,
+		coef:      st.Coef,
+		coeffs:    st.Coeffs,
+		rss:       st.RSS,
+		tss:       st.TSS,
+		n:         st.N,
+		inv:       st.Inv,
+	}, nil
+}

@@ -1,0 +1,58 @@
+package linreg
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestModelSerializeRoundTrip(t *testing.T) {
+	x, y := synth(31, 150, 0.05)
+	for _, method := range Methods() {
+		m, err := Fit(x, y, []string{"a", "b", "c", "d"}, Options{Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalModel(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Method() != method || back.NumSelected() != m.NumSelected() {
+			t.Fatalf("%v: meta mismatch", method)
+		}
+		for i := 0; i < 20; i++ {
+			if back.Predict(x[i]) != m.Predict(x[i]) {
+				t.Fatalf("%v: predictions diverge at %d", method, i)
+			}
+		}
+		if back.R2() != m.R2() || back.Intercept() != m.Intercept() {
+			t.Fatalf("%v: summary stats differ", method)
+		}
+		ca, cb := m.Coefficients(), back.Coefficients()
+		if len(ca) != len(cb) {
+			t.Fatalf("%v: coefficient tables differ", method)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("%v: coefficient %d differs", method, i)
+			}
+		}
+	}
+}
+
+func TestUnmarshalModelRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`garbage`,
+		`{"version":9}`,
+		`{"version":1,"names":["a"],"coef":[1,2]}`,
+		`{"version":1,"names":["a"],"coef":[1],"selected":[3]}`,
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalModel([]byte(c)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package mem implements the memory-hierarchy substrate of the
+// microprocessor study: set-associative LRU caches (the L1 instruction and
+// data caches, the unified L2 and the optional L3 of paper Table 1),
+// instruction and data TLBs, and a Hierarchy that chains them with
+// per-level latencies the way SimpleScalar's sim-outorder does.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CacheConfig describes one cache level, mirroring the Table 1 columns.
+type CacheConfig struct {
+	// SizeKB is the total capacity in kilobytes. Zero means the level is
+	// absent (the Table 1 "0 MB" L3 option).
+	SizeKB int
+	// LineBytes is the block size in bytes.
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// LatencyCycles is the hit latency of this level.
+	LatencyCycles int
+}
+
+// Enabled reports whether the level exists.
+func (c CacheConfig) Enabled() bool { return c.SizeKB > 0 }
+
+// Validate checks the geometry: positive power-of-two size/line/assoc and
+// at least one set.
+func (c CacheConfig) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: line size %dB must be a positive power of two", c.LineBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("mem: associativity %d must be positive", c.Assoc)
+	}
+	if c.LatencyCycles <= 0 {
+		return fmt.Errorf("mem: latency %d must be positive", c.LatencyCycles)
+	}
+	bytes := c.SizeKB * 1024
+	lines := bytes / c.LineBytes
+	if lines*c.LineBytes != bytes {
+		return fmt.Errorf("mem: size %dKB not a multiple of line %dB", c.SizeKB, c.LineBytes)
+	}
+	if lines%c.Assoc != 0 {
+		return fmt.Errorf("mem: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	sets := lines / c.Assoc
+	if sets == 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: set count %d must be a positive power of two", sets)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]uint64 // tags per way, LRU order: index 0 = MRU
+	valid    [][]bool
+	setMask  uint64
+	lineBits uint
+	accesses uint64
+	misses   uint64
+}
+
+// NewCache builds a cache from a validated config. A disabled config
+// yields an error; callers should skip absent levels.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if !cfg.Enabled() {
+		return nil, errors.New("mem: cannot instantiate a disabled cache level")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.SizeKB * 1024 / cfg.LineBytes
+	nsets := lines / cfg.Assoc
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]uint64, nsets),
+		valid:   make([][]bool, nsets),
+		setMask: uint64(nsets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, cfg.Assoc)
+		c.valid[i] = make([]bool, cfg.Assoc)
+	}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access looks up addr, updating LRU state and filling on miss.
+// It reports whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	tag := addr >> c.lineBits
+	set := tag & c.setMask
+	ways := c.sets[set]
+	valid := c.valid[set]
+	for w := range ways {
+		if valid[w] && ways[w] == tag {
+			// Move to MRU position.
+			copy(ways[1:w+1], ways[:w])
+			copy(valid[1:w+1], valid[:w])
+			ways[0] = tag
+			valid[0] = true
+			return true
+		}
+	}
+	c.misses++
+	// Fill: evict LRU (last way), insert at MRU.
+	copy(ways[1:], ways[:len(ways)-1])
+	copy(valid[1:], valid[:len(valid)-1])
+	ways[0] = tag
+	valid[0] = true
+	return false
+}
+
+// Install fills addr's line without recording an access or miss — the
+// prefetch path, whose traffic must not perturb demand statistics. It
+// reports whether the line was already present.
+func (c *Cache) Install(addr uint64) bool {
+	tag := addr >> c.lineBits
+	set := tag & c.setMask
+	ways := c.sets[set]
+	valid := c.valid[set]
+	for w := range ways {
+		if valid[w] && ways[w] == tag {
+			copy(ways[1:w+1], ways[:w])
+			copy(valid[1:w+1], valid[:w])
+			ways[0] = tag
+			valid[0] = true
+			return true
+		}
+	}
+	copy(ways[1:], ways[:len(ways)-1])
+	copy(valid[1:], valid[:len(valid)-1])
+	ways[0] = tag
+	valid[0] = true
+	return false
+}
+
+// Accesses returns the number of lookups performed.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of lookups that missed.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses/accesses (0 before any access).
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		for w := range c.valid[i] {
+			c.valid[i][w] = false
+		}
+	}
+	c.accesses, c.misses = 0, 0
+}

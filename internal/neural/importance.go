@@ -1,0 +1,106 @@
+package neural
+
+import (
+	"errors"
+
+	"perfpred/internal/stat"
+)
+
+// Importance estimates the relative importance of each input column by
+// sensitivity analysis, the way Clementine reports neural-network field
+// importance (paper §4.4): for each input, sweep it across its observed
+// range while every other input keeps its record value, and measure how
+// much the output moves. The result is scaled so 0 means "no effect on the
+// prediction" and 1.0 means the input swings the output across the model's
+// whole observed output range.
+//
+// xs should be (a sample of) the training matrix; at most maxRecords rows
+// are probed to bound the cost.
+func (m *Model) Importance(xs [][]float64) ([]float64, error) {
+	const (
+		maxRecords = 100
+		sweepSteps = 5
+	)
+	if len(xs) == 0 {
+		return nil, errors.New("neural: importance needs probe records")
+	}
+	p := m.net.NumInputs()
+	for _, row := range xs {
+		if len(row) != p {
+			return nil, errors.New("neural: importance probe width mismatch")
+		}
+	}
+	// Observed per-column ranges.
+	lo := make([]float64, p)
+	hi := make([]float64, p)
+	copy(lo, xs[0])
+	copy(hi, xs[0])
+	for _, row := range xs {
+		for j, v := range row {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	// Deterministic probe subset.
+	probes := xs
+	if len(xs) > maxRecords {
+		idx := stat.Perm(int64(len(xs)), len(xs))[:maxRecords]
+		probes = make([][]float64, maxRecords)
+		for k, i := range idx {
+			probes[k] = xs[i]
+		}
+	}
+	// Output range across probes (for normalization).
+	outLo, outHi := m.Predict(probes[0]), m.Predict(probes[0])
+	for _, row := range probes {
+		o := m.Predict(row)
+		if o < outLo {
+			outLo = o
+		}
+		if o > outHi {
+			outHi = o
+		}
+	}
+
+	imp := make([]float64, p)
+	buf := make([]float64, p)
+	for j := 0; j < p; j++ {
+		if hi[j] == lo[j] || m.net.InputFrozen(j) {
+			continue // constant or pruned input: importance 0
+		}
+		total := 0.0
+		for _, row := range probes {
+			copy(buf, row)
+			minO, maxO := 0.0, 0.0
+			for s := 0; s <= sweepSteps; s++ {
+				buf[j] = lo[j] + (hi[j]-lo[j])*float64(s)/float64(sweepSteps)
+				o := m.Predict(buf)
+				if s == 0 || o < minO {
+					minO = o
+				}
+				if s == 0 || o > maxO {
+					maxO = o
+				}
+			}
+			total += maxO - minO
+		}
+		imp[j] = total / float64(len(probes))
+	}
+	// Normalize by the observed output range so 1.0 ≈ "completely
+	// determines the prediction".
+	denom := outHi - outLo
+	if denom <= 0 {
+		denom = 1
+	}
+	for j := range imp {
+		imp[j] /= denom
+		if imp[j] > 1 {
+			imp[j] = 1
+		}
+	}
+	return imp, nil
+}

@@ -1,0 +1,548 @@
+package neural
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"perfpred/internal/stat"
+)
+
+// Method selects the Clementine training strategy.
+type Method int
+
+const (
+	// Quick (NN-Q) trains a single heuristically sized hidden layer with a
+	// decaying learning rate.
+	Quick Method = iota
+	// Dynamic (NN-D) grows the hidden layer while the held-out error keeps
+	// improving.
+	Dynamic
+	// Multiple (NN-M) trains several topologies concurrently and keeps the
+	// one with the best held-out error.
+	Multiple
+	// Prune (NN-P) starts from a large network and removes the weakest
+	// hidden units and inputs while the held-out error does not degrade.
+	Prune
+	// ExhaustivePrune (NN-E) is Prune with a larger starting topology,
+	// multiple restarts, longer training and a stricter pruning tolerance —
+	// "the slowest of all, but often yields the best results" (paper §3.2).
+	ExhaustivePrune
+	// Single (NN-S) is the paper's modified Quick: one smaller hidden
+	// layer and a constant learning rate, similar to the model of
+	// Ipek et al. Fast to train.
+	Single
+)
+
+// String returns the paper's short name for the method.
+func (m Method) String() string {
+	switch m {
+	case Quick:
+		return "NN-Q"
+	case Dynamic:
+		return "NN-D"
+	case Multiple:
+		return "NN-M"
+	case Prune:
+		return "NN-P"
+	case ExhaustivePrune:
+		return "NN-E"
+	case Single:
+		return "NN-S"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists all six training methods in the paper's Figure 7/8 order
+// (NN-S appended; the figures show Q, D, M, P, E).
+func Methods() []Method {
+	return []Method{Quick, Dynamic, Multiple, Prune, ExhaustivePrune, Single}
+}
+
+// Config configures Train.
+type Config struct {
+	Method Method
+	// Seed drives all stochastic choices (weight init, shuffling, splits).
+	Seed int64
+	// Workers bounds the topology-search parallelism. Zero means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// EpochScale multiplies every method's default epoch counts; zero
+	// means 1.0. Tests use small values to stay fast.
+	EpochScale float64
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) epochs(base int) int {
+	s := c.EpochScale
+	if s <= 0 {
+		s = 1
+	}
+	e := int(float64(base) * s)
+	if e < 10 {
+		e = 10
+	}
+	return e
+}
+
+// Model is a trained neural-network regressor.
+type Model struct {
+	net    *Network
+	method Method
+	valMSE float64
+}
+
+// Predict returns the model's prediction for one encoded input row.
+func (m *Model) Predict(x []float64) float64 { return m.net.Predict1(x) }
+
+// PredictAll returns predictions for a batch of rows.
+func (m *Model) PredictAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.net.Predict1(row)
+	}
+	return out
+}
+
+// Method returns the training method that produced the model.
+func (m *Model) Method() Method { return m.method }
+
+// Network exposes the underlying network (read-only use intended).
+func (m *Model) Network() *Network { return m.net }
+
+// ValidationMSE returns the held-out MSE observed during topology search
+// (NaN for methods that did not need a validation split).
+func (m *Model) ValidationMSE() float64 { return m.valMSE }
+
+// Train fits a neural network to x (rows of [0,1]-scaled features) and
+// scalar targets y (also [0,1]-scaled) using the configured method.
+func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
+	if len(x) == 0 {
+		return nil, errors.New("neural: no training data")
+	}
+	if len(x) != len(y) {
+		return nil, errors.New("neural: x/y length mismatch")
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("neural: zero-width inputs")
+	}
+	for _, row := range x {
+		if len(row) != p {
+			return nil, errors.New("neural: ragged input matrix")
+		}
+	}
+	if len(x) < 4 {
+		return nil, errors.New("neural: need at least 4 records")
+	}
+
+	// Clementine-style half split for topology decisions (paper §3.3).
+	r := stat.NewRand(cfg.Seed)
+	perm := r.Perm(len(x))
+	h := len(x) / 2
+	xtr, ytr := gather(x, y, perm[:h])
+	xval, yval := gather(x, y, perm[h:])
+
+	switch cfg.Method {
+	case Quick:
+		return trainQuick(x, y, xtr, ytr, xval, yval, cfg)
+	case Single:
+		return trainSingle(x, y, cfg)
+	case Dynamic:
+		return trainDynamic(x, y, xtr, ytr, xval, yval, cfg)
+	case Multiple:
+		return trainMultiple(x, y, xtr, ytr, xval, yval, cfg)
+	case Prune:
+		return trainPrune(x, y, xtr, ytr, xval, yval, cfg, false)
+	case ExhaustivePrune:
+		return trainPrune(x, y, xtr, ytr, xval, yval, cfg, true)
+	default:
+		return nil, fmt.Errorf("neural: unknown method %v", cfg.Method)
+	}
+}
+
+func gather(x [][]float64, y []float64, idx []int) ([][]float64, []float64) {
+	xs := make([][]float64, len(idx))
+	ys := make([]float64, len(idx))
+	for k, i := range idx {
+		xs[k] = x[i]
+		ys[k] = y[i]
+	}
+	return xs, ys
+}
+
+// finalPolish retrains net on the full dataset from its current weights.
+func finalPolish(net *Network, x [][]float64, y []float64, cfg Config, epochs int, seed int64) error {
+	_, err := net.trainSGD(x, toColumn(y), sgdOptions{
+		epochs:   cfg.epochs(epochs),
+		lr:       0.25,
+		lrFinal:  0.02,
+		momentum: 0.9,
+		patience: 60,
+		minDelta: 1e-7,
+	}, stat.NewRand(seed))
+	return err
+}
+
+func trainQuick(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config) (*Model, error) {
+	p := len(x[0])
+	h := max(3, (p+1)/2)
+	net, err := NewNetwork([]int{p, h, 1}, Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, 1))
+	if err != nil {
+		return nil, err
+	}
+	_, err = net.trainSGD(xtr, toColumn(ytr), sgdOptions{
+		epochs:   cfg.epochs(300),
+		lr:       0.4,
+		lrFinal:  0.05,
+		momentum: 0.9,
+		patience: 50,
+		minDelta: 1e-7,
+	}, stat.NewSubRand(cfg.Seed, 2))
+	if err != nil {
+		return nil, err
+	}
+	val := net.mseOn(xval, yval)
+	if err := finalPolish(net, x, y, cfg, 200, stat.DeriveSeed(cfg.Seed, 3)); err != nil {
+		return nil, err
+	}
+	return &Model{net: net, method: Quick, valMSE: val}, nil
+}
+
+func trainSingle(x [][]float64, y []float64, cfg Config) (*Model, error) {
+	p := len(x[0])
+	h := max(2, (p+2)/4)
+	net, err := NewNetwork([]int{p, h, 1}, Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, 4))
+	if err != nil {
+		return nil, err
+	}
+	// Constant learning rate, one small hidden layer (paper §3.2, NN-S).
+	_, err = net.trainSGD(x, toColumn(y), sgdOptions{
+		epochs:   cfg.epochs(250),
+		lr:       0.2,
+		momentum: 0.5,
+		patience: 40,
+		minDelta: 1e-7,
+	}, stat.NewSubRand(cfg.Seed, 5))
+	if err != nil {
+		return nil, err
+	}
+	return &Model{net: net, method: Single, valMSE: math.NaN()}, nil
+}
+
+func trainDynamic(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config) (*Model, error) {
+	p := len(x[0])
+	grow := max(1, p/8)
+	bestVal := math.Inf(1)
+	var best *Network
+	h := 2
+	for step := 0; h <= 2*p && step < 12; step++ {
+		net, err := NewNetwork([]int{p, h, 1}, Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, 10+step))
+		if err != nil {
+			return nil, err
+		}
+		_, err = net.trainSGD(xtr, toColumn(ytr), sgdOptions{
+			epochs:   cfg.epochs(150),
+			lr:       0.35,
+			lrFinal:  0.05,
+			momentum: 0.9,
+			patience: 30,
+			minDelta: 1e-7,
+		}, stat.NewSubRand(cfg.Seed, 30+step))
+		if err != nil {
+			return nil, err
+		}
+		val := net.mseOn(xval, yval)
+		if val < bestVal*(1-1e-4) {
+			bestVal = val
+			best = net
+			h += grow
+			continue
+		}
+		break // growth stopped paying off
+	}
+	if best == nil {
+		return nil, errors.New("neural: dynamic growth failed to produce a network")
+	}
+	if err := finalPolish(best, x, y, cfg, 200, stat.DeriveSeed(cfg.Seed, 50)); err != nil {
+		return nil, err
+	}
+	return &Model{net: best, method: Dynamic, valMSE: bestVal}, nil
+}
+
+func trainMultiple(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config) (*Model, error) {
+	p := len(x[0])
+	topos := [][]int{
+		{p, max(2, p/4), 1},
+		{p, max(3, p/2), 1},
+		{p, p, 1},
+		{p, max(3, p/2), max(2, p/4), 1},
+		{p, p, max(3, p/2), 1},
+	}
+	type result struct {
+		net *Network
+		val float64
+		err error
+	}
+	results := make([]result, len(topos))
+	parallelFor(len(topos), cfg.workers(), func(i int) {
+		net, err := NewNetwork(topos[i], Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, 100+i))
+		if err != nil {
+			results[i] = result{err: err}
+			return
+		}
+		_, err = net.trainSGD(xtr, toColumn(ytr), sgdOptions{
+			epochs:   cfg.epochs(250),
+			lr:       0.35,
+			lrFinal:  0.04,
+			momentum: 0.9,
+			patience: 40,
+			minDelta: 1e-7,
+		}, stat.NewSubRand(cfg.Seed, 200+i))
+		if err != nil {
+			results[i] = result{err: err}
+			return
+		}
+		results[i] = result{net: net, val: net.mseOn(xval, yval)}
+	})
+	bestVal := math.Inf(1)
+	var best *Network
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.val < bestVal {
+			bestVal = res.val
+			best = res.net
+		}
+	}
+	if best == nil {
+		return nil, errors.New("neural: multiple-topology search produced no network")
+	}
+	if err := finalPolish(best, x, y, cfg, 200, stat.DeriveSeed(cfg.Seed, 300)); err != nil {
+		return nil, err
+	}
+	return &Model{net: best, method: Multiple, valMSE: bestVal}, nil
+}
+
+// trainPrune implements NN-P, and NN-E when exhaustive is true.
+func trainPrune(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config, exhaustive bool) (*Model, error) {
+	p := len(x[0])
+	restarts := 1
+	startH := p
+	trainEpochs, retrainEpochs := 250, 80
+	tol := 1.05 // accept a prune if val MSE stays within 5%
+	maxPrunes := max(1, p/2)
+	if exhaustive {
+		restarts = 3
+		startH = p + max(2, p/2)
+		trainEpochs, retrainEpochs = 450, 150
+		tol = 1.01
+		maxPrunes = p
+	}
+
+	type result struct {
+		net *Network
+		val float64
+		err error
+	}
+	results := make([]result, restarts)
+	parallelFor(restarts, cfg.workers(), func(ri int) {
+		seedBase := 1000 * (ri + 1)
+		net, err := NewNetwork([]int{p, startH, 1}, Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, seedBase))
+		if err != nil {
+			results[ri] = result{err: err}
+			return
+		}
+		_, err = net.trainSGD(xtr, toColumn(ytr), sgdOptions{
+			epochs:   cfg.epochs(trainEpochs),
+			lr:       0.35,
+			lrFinal:  0.03,
+			momentum: 0.9,
+			patience: 50,
+			minDelta: 1e-7,
+		}, stat.NewSubRand(cfg.Seed, seedBase+1))
+		if err != nil {
+			results[ri] = result{err: err}
+			return
+		}
+		val := net.mseOn(xval, yval)
+
+		// Alternate hidden-unit and input pruning while the held-out error
+		// stays within tolerance.
+		for prune := 0; prune < maxPrunes; prune++ {
+			cand := net.Clone()
+			pruned := false
+			if cand.sizes[1] > 2 {
+				sal := cand.hiddenSaliency(0)
+				victim := argmin(sal)
+				if err := cand.RemoveHidden(0, victim); err == nil {
+					pruned = true
+				}
+			}
+			if !pruned {
+				// Fall back to input pruning.
+				sal := cand.inputSaliency()
+				victim, ok := weakestUnfrozen(cand, sal)
+				if !ok {
+					break
+				}
+				if err := cand.FreezeInput(victim); err != nil {
+					break
+				}
+			}
+			_, err := cand.trainSGD(xtr, toColumn(ytr), sgdOptions{
+				epochs:   cfg.epochs(retrainEpochs),
+				lr:       0.2,
+				lrFinal:  0.03,
+				momentum: 0.9,
+				patience: 25,
+				minDelta: 1e-7,
+			}, stat.NewSubRand(cfg.Seed, seedBase+10+prune))
+			if err != nil {
+				results[ri] = result{err: err}
+				return
+			}
+			cval := cand.mseOn(xval, yval)
+			if cval <= val*tol {
+				net, val = cand, math.Min(cval, val)
+				continue
+			}
+			break
+		}
+		// Exhaustive mode also prunes weak inputs after the unit sweep.
+		if exhaustive {
+			for prune := 0; prune < p/2; prune++ {
+				cand := net.Clone()
+				sal := cand.inputSaliency()
+				victim, ok := weakestUnfrozen(cand, sal)
+				if !ok {
+					break
+				}
+				if err := cand.FreezeInput(victim); err != nil {
+					break
+				}
+				_, err := cand.trainSGD(xtr, toColumn(ytr), sgdOptions{
+					epochs:   cfg.epochs(retrainEpochs),
+					lr:       0.15,
+					lrFinal:  0.03,
+					momentum: 0.9,
+					patience: 25,
+					minDelta: 1e-7,
+				}, stat.NewSubRand(cfg.Seed, seedBase+500+prune))
+				if err != nil {
+					results[ri] = result{err: err}
+					return
+				}
+				cval := cand.mseOn(xval, yval)
+				if cval <= val*tol {
+					net, val = cand, math.Min(cval, val)
+					continue
+				}
+				break
+			}
+		}
+		results[ri] = result{net: net, val: val}
+	})
+
+	bestVal := math.Inf(1)
+	var best *Network
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.val < bestVal {
+			bestVal = res.val
+			best = res.net
+		}
+	}
+	if best == nil {
+		return nil, errors.New("neural: pruning search produced no network")
+	}
+	polish := 150
+	if exhaustive {
+		polish = 300
+	}
+	if err := finalPolish(best, x, y, cfg, polish, stat.DeriveSeed(cfg.Seed, 9999)); err != nil {
+		return nil, err
+	}
+	method := Prune
+	if exhaustive {
+		method = ExhaustivePrune
+	}
+	return &Model{net: best, method: method, valMSE: bestVal}, nil
+}
+
+func weakestUnfrozen(n *Network, sal []float64) (int, bool) {
+	best, bestSal := -1, math.Inf(1)
+	frozen := 0
+	for j, s := range sal {
+		if n.InputFrozen(j) {
+			frozen++
+			continue
+		}
+		if s < bestSal {
+			best, bestSal = j, s
+		}
+	}
+	// Keep at least two live inputs.
+	if best < 0 || len(sal)-frozen <= 2 {
+		return 0, false
+	}
+	return best, true
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// parallelFor runs fn(0..n-1) on up to workers goroutines and waits.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

@@ -1,0 +1,280 @@
+// Package neural implements the paper's neural-network models (§3.2):
+// feed-forward multilayer perceptrons trained by backpropagation, with the
+// five SPSS Clementine training methods — Quick (NN-Q), Dynamic (NN-D),
+// Multiple (NN-M), Prune (NN-P), Exhaustive Prune (NN-E) — plus the
+// single-layer constant-learning-rate method (NN-S) the paper uses as the
+// Ipek-et-al.-style baseline.
+//
+// Inputs and the target are expected pre-scaled to [0,1] (the dataset
+// package's ForNN encoding). The output unit is sigmoidal, like
+// Clementine's, which means predictions saturate outside the training
+// target range — the mechanism behind the paper's observation that neural
+// networks extrapolate poorly in chronological prediction.
+package neural
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a unit's transfer function. The paper (§3.2) lists
+// linear, hard-limit, sigmoid and tan-sigmoid activations for hidden units.
+type Activation int
+
+const (
+	// Sigmoid is the logistic function 1/(1+e^-x).
+	Sigmoid Activation = iota
+	// TanSigmoid is tanh(x).
+	TanSigmoid
+	// Linear is the identity.
+	Linear
+	// HardLimit is the Heaviside step (non-differentiable; usable for
+	// inference-only layers, rejected by the trainer).
+	HardLimit
+)
+
+// String returns the activation name.
+func (a Activation) String() string {
+	switch a {
+	case Sigmoid:
+		return "sigmoid"
+	case TanSigmoid:
+		return "tansig"
+	case Linear:
+		return "linear"
+	case HardLimit:
+		return "hardlim"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case TanSigmoid:
+		return math.Tanh(x)
+	case Linear:
+		return x
+	case HardLimit:
+		if x >= 0 {
+			return 1
+		}
+		return 0
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns dσ/dx expressed in terms of the unit output.
+func (a Activation) derivFromOutput(out float64) float64 {
+	switch a {
+	case Sigmoid:
+		return out * (1 - out)
+	case TanSigmoid:
+		return 1 - out*out
+	case Linear:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// layer holds the weights of one fully connected layer. w[i] are the
+// incoming weights of unit i; the last element of each row is the bias.
+type layer struct {
+	w   [][]float64
+	act Activation
+}
+
+// Network is a feed-forward multilayer perceptron.
+type Network struct {
+	sizes  []int // unit counts: input, hidden..., output
+	layers []layer
+	// frozenInput marks input indices whose first-layer weights are pinned
+	// to zero (used by the pruning trainers to remove inputs in place).
+	frozenInput []bool
+}
+
+// NewNetwork creates a network with the given unit counts per layer
+// (inputs first, output last), hidden activation hact and output
+// activation oact, with weights initialized uniformly in ±1/√fanin.
+func NewNetwork(sizes []int, hact, oact Activation, r *rand.Rand) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, errors.New("neural: need at least input and output layers")
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, errors.New("neural: layer sizes must be positive")
+		}
+	}
+	n := &Network{
+		sizes:       append([]int(nil), sizes...),
+		frozenInput: make([]bool, sizes[0]),
+	}
+	for l := 1; l < len(sizes); l++ {
+		act := hact
+		if l == len(sizes)-1 {
+			act = oact
+		}
+		fanin := sizes[l-1]
+		scale := 1 / math.Sqrt(float64(fanin))
+		w := make([][]float64, sizes[l])
+		for i := range w {
+			w[i] = make([]float64, fanin+1)
+			for j := range w[i] {
+				w[i][j] = (2*r.Float64() - 1) * scale
+			}
+		}
+		n.layers = append(n.layers, layer{w: w, act: act})
+	}
+	return n, nil
+}
+
+// NumInputs returns the input dimensionality.
+func (n *Network) NumInputs() int { return n.sizes[0] }
+
+// NumOutputs returns the output dimensionality.
+func (n *Network) NumOutputs() int { return n.sizes[len(n.sizes)-1] }
+
+// HiddenSizes returns the hidden layer unit counts.
+func (n *Network) HiddenSizes() []int {
+	return append([]int(nil), n.sizes[1:len(n.sizes)-1]...)
+}
+
+// NumWeights returns the total number of trainable parameters.
+func (n *Network) NumWeights() int {
+	c := 0
+	for _, l := range n.layers {
+		for _, row := range l.w {
+			c += len(row)
+		}
+	}
+	return c
+}
+
+// Forward computes the network output for input x.
+func (n *Network) Forward(x []float64) []float64 {
+	acts := n.forwardActs(x)
+	out := acts[len(acts)-1]
+	return append([]float64(nil), out...)
+}
+
+// forwardActs returns the activations of every layer including the input.
+func (n *Network) forwardActs(x []float64) [][]float64 {
+	acts := make([][]float64, len(n.sizes))
+	acts[0] = x
+	cur := x
+	for li, l := range n.layers {
+		next := make([]float64, len(l.w))
+		for i, row := range l.w {
+			s := row[len(row)-1] // bias
+			for j, v := range cur {
+				s += row[j] * v
+			}
+			next[i] = l.act.apply(s)
+		}
+		acts[li+1] = next
+		cur = next
+	}
+	return acts
+}
+
+// Predict1 returns the single scalar output for x; it panics if the
+// network has more than one output.
+func (n *Network) Predict1(x []float64) float64 {
+	if n.NumOutputs() != 1 {
+		panic("neural: Predict1 on multi-output network")
+	}
+	return n.Forward(x)[0]
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	cp := &Network{
+		sizes:       append([]int(nil), n.sizes...),
+		frozenInput: append([]bool(nil), n.frozenInput...),
+	}
+	cp.layers = make([]layer, len(n.layers))
+	for li, l := range n.layers {
+		w := make([][]float64, len(l.w))
+		for i := range l.w {
+			w[i] = append([]float64(nil), l.w[i]...)
+		}
+		cp.layers[li] = layer{w: w, act: l.act}
+	}
+	return cp
+}
+
+// FreezeInput zeroes the first-layer weights from input j and pins them so
+// subsequent training cannot resurrect the connection. It is how the
+// pruning methods remove an input without changing the feature vector
+// layout.
+func (n *Network) FreezeInput(j int) error {
+	if j < 0 || j >= n.sizes[0] {
+		return fmt.Errorf("neural: input %d out of range", j)
+	}
+	n.frozenInput[j] = true
+	for i := range n.layers[0].w {
+		n.layers[0].w[i][j] = 0
+	}
+	return nil
+}
+
+// InputFrozen reports whether input j has been pruned.
+func (n *Network) InputFrozen(j int) bool { return n.frozenInput[j] }
+
+// RemoveHidden removes unit idx from hidden layer h (0-based among hidden
+// layers), deleting its incoming and outgoing weights.
+func (n *Network) RemoveHidden(h, idx int) error {
+	nHidden := len(n.sizes) - 2
+	if h < 0 || h >= nHidden {
+		return fmt.Errorf("neural: hidden layer %d out of range", h)
+	}
+	li := h // layer index whose outputs are the hidden units
+	if idx < 0 || idx >= n.sizes[h+1] {
+		return fmt.Errorf("neural: unit %d out of range in hidden layer %d", idx, h)
+	}
+	if n.sizes[h+1] == 1 {
+		return errors.New("neural: cannot remove the last unit of a hidden layer")
+	}
+	// Drop the unit's incoming weight row.
+	n.layers[li].w = append(n.layers[li].w[:idx], n.layers[li].w[idx+1:]...)
+	// Drop the corresponding input column of the next layer.
+	next := &n.layers[li+1]
+	for i := range next.w {
+		row := next.w[i]
+		next.w[i] = append(row[:idx], row[idx+1:]...)
+	}
+	n.sizes[h+1]--
+	return nil
+}
+
+// hiddenSaliency returns, for each unit of hidden layer h, the sum of
+// absolute outgoing weights — the magnitude criterion used by the pruning
+// trainers to pick removal victims.
+func (n *Network) hiddenSaliency(h int) []float64 {
+	out := make([]float64, n.sizes[h+1])
+	next := n.layers[h+1]
+	for _, row := range next.w {
+		for j := 0; j < n.sizes[h+1]; j++ {
+			out[j] += math.Abs(row[j])
+		}
+	}
+	return out
+}
+
+// inputSaliency returns, for each input, the sum of absolute first-layer
+// weights.
+func (n *Network) inputSaliency() []float64 {
+	out := make([]float64, n.sizes[0])
+	for _, row := range n.layers[0].w {
+		for j := 0; j < n.sizes[0]; j++ {
+			out[j] += math.Abs(row[j])
+		}
+	}
+	return out
+}

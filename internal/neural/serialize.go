@@ -1,0 +1,94 @@
+package neural
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+type layerState struct {
+	W   [][]float64 `json:"w"`
+	Act Activation  `json:"act"`
+}
+
+type networkState struct {
+	Sizes       []int        `json:"sizes"`
+	Layers      []layerState `json:"layers"`
+	FrozenInput []bool       `json:"frozen_input"`
+}
+
+type modelState struct {
+	Version int          `json:"version"`
+	Method  Method       `json:"method"`
+	ValMSE  float64      `json:"val_mse"` // NaN encoded as -1
+	Net     networkState `json:"net"`
+}
+
+const modelVersion = 1
+
+// MarshalJSON serializes the trained model (topology, weights, pruning
+// state) so it can be persisted and reloaded for prediction.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	st := modelState{
+		Version: modelVersion,
+		Method:  m.method,
+		ValMSE:  m.valMSE,
+		Net: networkState{
+			Sizes:       m.net.sizes,
+			FrozenInput: m.net.frozenInput,
+		},
+	}
+	if math.IsNaN(st.ValMSE) {
+		st.ValMSE = -1
+	}
+	for _, l := range m.net.layers {
+		st.Net.Layers = append(st.Net.Layers, layerState{W: l.w, Act: l.act})
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalModel restores a model serialized by MarshalJSON.
+func UnmarshalModel(data []byte) (*Model, error) {
+	var st modelState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("neural: decoding model: %w", err)
+	}
+	if st.Version != modelVersion {
+		return nil, fmt.Errorf("neural: unsupported model version %d", st.Version)
+	}
+	if len(st.Net.Sizes) < 2 {
+		return nil, fmt.Errorf("neural: network needs at least 2 layers, got %d", len(st.Net.Sizes))
+	}
+	if len(st.Net.Layers) != len(st.Net.Sizes)-1 {
+		return nil, fmt.Errorf("neural: %d weight layers for %d size entries", len(st.Net.Layers), len(st.Net.Sizes))
+	}
+	if len(st.Net.FrozenInput) != st.Net.Sizes[0] {
+		return nil, fmt.Errorf("neural: frozen-input mask width %d != %d inputs", len(st.Net.FrozenInput), st.Net.Sizes[0])
+	}
+	n := &Network{
+		sizes:       st.Net.Sizes,
+		frozenInput: st.Net.FrozenInput,
+	}
+	for li, l := range st.Net.Layers {
+		if len(l.W) != st.Net.Sizes[li+1] {
+			return nil, fmt.Errorf("neural: layer %d has %d units, sizes say %d", li, len(l.W), st.Net.Sizes[li+1])
+		}
+		for ui, row := range l.W {
+			if len(row) != st.Net.Sizes[li]+1 {
+				return nil, fmt.Errorf("neural: layer %d unit %d has %d weights, want %d",
+					li, ui, len(row), st.Net.Sizes[li]+1)
+			}
+		}
+		switch l.Act {
+		case Sigmoid, TanSigmoid, Linear, HardLimit:
+		default:
+			return nil, fmt.Errorf("neural: layer %d has invalid activation %d", li, int(l.Act))
+		}
+		n.layers = append(n.layers, layer{w: l.W, act: l.Act})
+	}
+	val := st.ValMSE
+	if val == -1 {
+		val = math.NaN()
+	}
+	return &Model{net: n, method: st.Method, valMSE: val}, nil
+}

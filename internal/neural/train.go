@@ -1,0 +1,164 @@
+package neural
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// sgdOptions configures one backpropagation run.
+type sgdOptions struct {
+	epochs   int
+	lr       float64
+	lrFinal  float64 // 0 → constant learning rate (NN-S behaviour)
+	momentum float64
+	// patience stops training after this many epochs without a training
+	// MSE improvement of at least minDelta (0 disables early stopping).
+	patience int
+	minDelta float64
+}
+
+// trainSGD runs stochastic backpropagation with momentum on (x, y).
+// It shuffles per epoch with r and respects frozen inputs. Returns the
+// final training MSE.
+func (n *Network) trainSGD(x [][]float64, y [][]float64, opts sgdOptions, r *rand.Rand) (float64, error) {
+	if len(x) == 0 {
+		return 0, errors.New("neural: no training data")
+	}
+	if len(x) != len(y) {
+		return 0, errors.New("neural: x/y length mismatch")
+	}
+	for _, l := range n.layers {
+		if l.act == HardLimit {
+			return 0, errors.New("neural: hard-limit activation is not trainable by backprop")
+		}
+	}
+	if opts.epochs <= 0 {
+		return 0, errors.New("neural: epochs must be positive")
+	}
+	if opts.lr <= 0 {
+		return 0, errors.New("neural: learning rate must be positive")
+	}
+
+	// Momentum velocity, same shape as the weights.
+	vel := make([][][]float64, len(n.layers))
+	for li, l := range n.layers {
+		vel[li] = make([][]float64, len(l.w))
+		for i := range l.w {
+			vel[li][i] = make([]float64, len(l.w[i]))
+		}
+	}
+	// Per-layer delta buffers.
+	deltas := make([][]float64, len(n.layers))
+	for li := range n.layers {
+		deltas[li] = make([]float64, len(n.layers[li].w))
+	}
+
+	perm := make([]int, len(x))
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	stale := 0
+	mse := math.Inf(1)
+	for epoch := 0; epoch < opts.epochs; epoch++ {
+		lr := opts.lr
+		if opts.lrFinal > 0 && opts.epochs > 1 {
+			// Geometric decay from lr to lrFinal across the run.
+			t := float64(epoch) / float64(opts.epochs-1)
+			lr = opts.lr * math.Pow(opts.lrFinal/opts.lr, t)
+		}
+		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		sse := 0.0
+		for _, i := range perm {
+			sse += n.backpropOne(x[i], y[i], lr, opts.momentum, vel, deltas)
+		}
+		mse = sse / float64(len(x))
+		if opts.patience > 0 {
+			if mse < best-opts.minDelta {
+				best = mse
+				stale = 0
+			} else {
+				stale++
+				if stale >= opts.patience {
+					break
+				}
+			}
+		}
+	}
+	return mse, nil
+}
+
+// backpropOne performs one stochastic update and returns the pre-update
+// squared error of the sample.
+func (n *Network) backpropOne(x, target []float64, lr, momentum float64, vel [][][]float64, deltas [][]float64) float64 {
+	acts := n.forwardActs(x)
+	out := acts[len(acts)-1]
+	last := len(n.layers) - 1
+
+	se := 0.0
+	for i := range out {
+		err := target[i] - out[i]
+		se += err * err
+		deltas[last][i] = err * n.layers[last].act.derivFromOutput(out[i])
+	}
+	// Backpropagate deltas.
+	for li := last - 1; li >= 0; li-- {
+		nextL := n.layers[li+1]
+		cur := acts[li+1]
+		for i := range deltas[li] {
+			s := 0.0
+			for k, row := range nextL.w {
+				s += row[i] * deltas[li+1][k]
+			}
+			deltas[li][i] = s * n.layers[li].act.derivFromOutput(cur[i])
+		}
+	}
+	// Weight updates with momentum.
+	for li := range n.layers {
+		in := acts[li]
+		l := &n.layers[li]
+		for i, row := range l.w {
+			d := deltas[li][i]
+			vrow := vel[li][i]
+			for j := range row {
+				var grad float64
+				if j == len(row)-1 {
+					grad = d // bias input is 1
+				} else {
+					if li == 0 && n.frozenInput[j] {
+						vrow[j] = 0
+						continue
+					}
+					grad = d * in[j]
+				}
+				v := momentum*vrow[j] + lr*grad
+				vrow[j] = v
+				row[j] += v
+			}
+		}
+	}
+	return se
+}
+
+// mseOn returns the network's MSE over a dataset with scalar targets.
+func (n *Network) mseOn(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range x {
+		d := n.Predict1(x[i]) - y[i]
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// toColumn wraps a scalar target slice as the [][]float64 the trainer wants.
+func toColumn(y []float64) [][]float64 {
+	out := make([][]float64, len(y))
+	for i, v := range y {
+		out[i] = []float64{v}
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+// Package simpoint re-implements the SimPoint methodology the paper uses
+// to cut simulation time (§4.1): a program trace is divided into fixed
+// length intervals, each interval is summarized by its Basic Block Vector
+// (BBV — the distribution of executed basic blocks), the normalized BBVs
+// are clustered with k-means (k picked by a BIC-style score), and one
+// representative interval per cluster is selected, weighted by cluster
+// size. Simulating only the representatives reproduces whole-trace
+// behaviour at a fraction of the cost.
+package simpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"perfpred/internal/stat"
+	"perfpred/internal/trace"
+)
+
+// BBV is the normalized basic-block execution frequency vector of one
+// interval.
+type BBV []float64
+
+// Interval identifies a contiguous slice of a trace.
+type Interval struct {
+	// Start is the index of the interval's first instruction.
+	Start int
+	// Len is the interval length in instructions.
+	Len int
+}
+
+// Point is one selected simulation point.
+type Point struct {
+	Interval
+	// Weight is the fraction of all intervals the point represents.
+	Weight float64
+	// Cluster is the index of the k-means cluster it represents.
+	Cluster int
+}
+
+// ExtractBBVs slices the trace into intervals of intervalLen instructions
+// (the last partial interval is dropped, as SimPoint does) and returns one
+// L1-normalized BBV per interval along with the interval bounds.
+func ExtractBBVs(tr *trace.Trace, intervalLen int) ([]BBV, []Interval, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, nil, errors.New("simpoint: empty trace")
+	}
+	if intervalLen <= 0 {
+		return nil, nil, errors.New("simpoint: interval length must be positive")
+	}
+	n := tr.Len() / intervalLen
+	if n == 0 {
+		return nil, nil, fmt.Errorf("simpoint: trace (%d instrs) shorter than one interval (%d)", tr.Len(), intervalLen)
+	}
+	// Determine the basic-block ID space.
+	maxBB := int32(0)
+	for i := range tr.Instrs {
+		if tr.Instrs[i].BB > maxBB {
+			maxBB = tr.Instrs[i].BB
+		}
+	}
+	dim := int(maxBB) + 1
+	bbvs := make([]BBV, n)
+	ivs := make([]Interval, n)
+	for k := 0; k < n; k++ {
+		v := make(BBV, dim)
+		start := k * intervalLen
+		for i := start; i < start+intervalLen; i++ {
+			v[tr.Instrs[i].BB]++
+		}
+		for j := range v {
+			v[j] /= float64(intervalLen)
+		}
+		bbvs[k] = v
+		ivs[k] = Interval{Start: start, Len: intervalLen}
+	}
+	return bbvs, ivs, nil
+}
+
+// kmeansResult holds one clustering outcome.
+type kmeansResult struct {
+	assign    []int
+	centroids []BBV
+	sse       float64
+}
+
+// kmeans runs Lloyd's algorithm with deterministic seeding (k-means++-style
+// probabilistic seeding driven by the supplied seed).
+func kmeans(vectors []BBV, k int, seed int64, maxIter int) (*kmeansResult, error) {
+	n := len(vectors)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("simpoint: k=%d invalid for %d vectors", k, n)
+	}
+	dim := len(vectors[0])
+	r := stat.NewRand(seed)
+
+	// k-means++ seeding.
+	centroids := make([]BBV, 0, k)
+	first := r.Intn(n)
+	centroids = append(centroids, append(BBV(nil), vectors[first]...))
+	dist := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, v := range vectors {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := sqDist(v, c); dd < d {
+					d = dd
+				}
+			}
+			dist[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with centroids; duplicate one.
+			centroids = append(centroids, append(BBV(nil), vectors[r.Intn(n)]...))
+			continue
+		}
+		target := r.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range dist {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append(BBV(nil), vectors[pick]...))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for i, v := range vectors {
+			c := assign[i]
+			counts[c]++
+			for j := range v {
+				centroids[c][j] += v[j]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the farthest point.
+				far, farD := 0, -1.0
+				for i, v := range vectors {
+					if d := sqDist(v, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], vectors[far])
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	sse := 0.0
+	for i, v := range vectors {
+		sse += sqDist(v, centroids[assign[i]])
+	}
+	return &kmeansResult{assign: assign, centroids: centroids, sse: sse}, nil
+}
+
+func sqDist(a, b BBV) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// bicScore computes a BIC-style model score for a clustering (higher is
+// better): log-likelihood of a spherical Gaussian mixture over the
+// dim-dimensional BBVs minus a complexity penalty, the criterion SimPoint
+// uses to pick k.
+func bicScore(res *kmeansResult, n, dim int) float64 {
+	k := len(res.centroids)
+	// Per-dimension variance of the spherical components.
+	variance := res.sse / math.Max(1, float64(dim)*float64(n-k))
+	if variance < 1e-8 {
+		variance = 1e-8 // floor: a perfect split must not dominate the score
+	}
+	ll := -0.5 * float64(n) * float64(dim) * (math.Log(2*math.Pi*variance) + 1)
+	params := float64(k)*(float64(dim)+1) + 1
+	return ll - 0.5*params*math.Log(float64(n))
+}
+
+// Options configures Select.
+type Options struct {
+	// IntervalLen is the interval size in instructions (e.g. the paper's
+	// 100 M; scaled-down traces use proportionally smaller intervals).
+	IntervalLen int
+	// MaxK bounds the number of clusters tried (SimPoint's maxK). Zero
+	// means min(10, #intervals).
+	MaxK int
+	// Seed drives clustering initialization.
+	Seed int64
+}
+
+// Select runs the full SimPoint pipeline on a trace and returns one
+// simulation point per chosen cluster, ordered by interval start.
+func Select(tr *trace.Trace, opts Options) ([]Point, error) {
+	bbvs, ivs, err := ExtractBBVs(tr, opts.IntervalLen)
+	if err != nil {
+		return nil, err
+	}
+	n := len(bbvs)
+	maxK := opts.MaxK
+	if maxK <= 0 {
+		maxK = 10
+	}
+	// Clustering more than half the intervals degenerates toward one
+	// cluster per interval (SSE → 0 dominates any penalty).
+	if maxK > n/2 {
+		maxK = n / 2
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	dim := len(bbvs[0])
+
+	// Score every k, then apply SimPoint's selection rule: the smallest k
+	// whose BIC reaches 90% of the score range. (Raw BIC over-segments
+	// high-dimensional BBVs; the relative threshold is what the SimPoint
+	// tool itself uses.)
+	results := make([]*kmeansResult, maxK+1)
+	scores := make([]float64, maxK+1)
+	minScore, maxScore := math.Inf(1), math.Inf(-1)
+	for k := 1; k <= maxK; k++ {
+		res, err := kmeans(bbvs, k, stat.DeriveSeed(opts.Seed, k), 100)
+		if err != nil {
+			return nil, err
+		}
+		results[k] = res
+		scores[k] = bicScore(res, n, dim)
+		if scores[k] < minScore {
+			minScore = scores[k]
+		}
+		if scores[k] > maxScore {
+			maxScore = scores[k]
+		}
+	}
+	threshold := minScore + 0.9*(maxScore-minScore)
+	var best *kmeansResult
+	for k := 1; k <= maxK; k++ {
+		if scores[k] >= threshold {
+			best = results[k]
+			break
+		}
+	}
+	if best == nil {
+		return nil, errors.New("simpoint: clustering produced no result")
+	}
+
+	// Pick the interval closest to each centroid; weight by cluster size.
+	k := len(best.centroids)
+	counts := make([]int, k)
+	for _, c := range best.assign {
+		counts[c]++
+	}
+	points := make([]Point, 0, k)
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		bestI, bestD := -1, math.Inf(1)
+		for i := range bbvs {
+			if best.assign[i] != c {
+				continue
+			}
+			if d := sqDist(bbvs[i], best.centroids[c]); d < bestD {
+				bestI, bestD = i, d
+			}
+		}
+		points = append(points, Point{
+			Interval: ivs[bestI],
+			Weight:   float64(counts[c]) / float64(n),
+			Cluster:  c,
+		})
+	}
+	// Order by position in the trace for reproducible output.
+	for i := 1; i < len(points); i++ {
+		for j := i; j > 0 && points[j].Start < points[j-1].Start; j-- {
+			points[j], points[j-1] = points[j-1], points[j]
+		}
+	}
+	return points, nil
+}
+
+// WeightedCycles combines per-point simulation results into a whole-trace
+// estimate: Σ weight_i × cycles_i scaled to the full trace length.
+func WeightedCycles(points []Point, cycles []float64, traceLen int) (float64, error) {
+	if len(points) != len(cycles) {
+		return 0, errors.New("simpoint: points/cycles length mismatch")
+	}
+	if len(points) == 0 {
+		return 0, errors.New("simpoint: no points")
+	}
+	est := 0.0
+	wsum := 0.0
+	for i, p := range points {
+		if p.Len <= 0 {
+			return 0, errors.New("simpoint: zero-length point")
+		}
+		cpi := cycles[i] / float64(p.Len)
+		est += p.Weight * cpi
+		wsum += p.Weight
+	}
+	if wsum <= 0 {
+		return 0, errors.New("simpoint: zero total weight")
+	}
+	return est / wsum * float64(traceLen), nil
+}

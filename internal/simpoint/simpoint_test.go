@@ -1,0 +1,215 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"perfpred/internal/cpu"
+	"perfpred/internal/trace"
+)
+
+func genTrace(t *testing.T, name string, n int) *trace.Trace {
+	t.Helper()
+	p, err := trace.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(p, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestExtractBBVs(t *testing.T) {
+	tr := genTrace(t, "gcc", 50000)
+	bbvs, ivs, err := ExtractBBVs(tr, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bbvs) != 10 || len(ivs) != 10 {
+		t.Fatalf("got %d intervals", len(bbvs))
+	}
+	for k, v := range bbvs {
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 {
+				t.Fatal("negative BBV entry")
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("interval %d BBV sums to %v", k, sum)
+		}
+		if ivs[k].Start != k*5000 || ivs[k].Len != 5000 {
+			t.Fatalf("interval %d bounds wrong: %+v", k, ivs[k])
+		}
+	}
+}
+
+func TestExtractBBVsErrors(t *testing.T) {
+	tr := genTrace(t, "gcc", 1000)
+	if _, _, err := ExtractBBVs(nil, 100); err == nil {
+		t.Fatal("nil trace: want error")
+	}
+	if _, _, err := ExtractBBVs(tr, 0); err == nil {
+		t.Fatal("zero interval: want error")
+	}
+	if _, _, err := ExtractBBVs(tr, 10000); err == nil {
+		t.Fatal("interval longer than trace: want error")
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	// Two well-separated groups of vectors.
+	var vectors []BBV
+	for i := 0; i < 10; i++ {
+		vectors = append(vectors, BBV{1, 0, 0.001 * float64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		vectors = append(vectors, BBV{0, 1, 0.001 * float64(i)})
+	}
+	res, err := kmeans(vectors, 2, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of group A together, all of group B together.
+	for i := 1; i < 10; i++ {
+		if res.assign[i] != res.assign[0] {
+			t.Fatal("group A split")
+		}
+		if res.assign[10+i] != res.assign[10] {
+			t.Fatal("group B split")
+		}
+	}
+	if res.assign[0] == res.assign[10] {
+		t.Fatal("groups merged")
+	}
+	if res.sse > 0.001 {
+		t.Fatalf("sse = %v", res.sse)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	vectors := []BBV{{1, 0}, {0, 1}}
+	if _, err := kmeans(vectors, 0, 1, 10); err == nil {
+		t.Fatal("k=0: want error")
+	}
+	if _, err := kmeans(vectors, 3, 1, 10); err == nil {
+		t.Fatal("k>n: want error")
+	}
+}
+
+func TestSelectCoversPhases(t *testing.T) {
+	// gcc has 4 phases; SimPoint should find multiple clusters and the
+	// weights should sum to 1.
+	tr := genTrace(t, "gcc", 80000)
+	points, err := Select(tr, Options{IntervalLen: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("only %d points for a phased trace", len(points))
+	}
+	wsum := 0.0
+	for _, p := range points {
+		if p.Weight <= 0 || p.Weight > 1 {
+			t.Fatalf("bad weight %v", p.Weight)
+		}
+		if p.Start%4000 != 0 || p.Len != 4000 {
+			t.Fatalf("point not interval-aligned: %+v", p)
+		}
+		wsum += p.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", wsum)
+	}
+	// Ordered by start.
+	for i := 1; i < len(points); i++ {
+		if points[i].Start < points[i-1].Start {
+			t.Fatal("points not ordered")
+		}
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	tr := genTrace(t, "mesa", 60000)
+	a, err := Select(tr, Options{IntervalLen: 5000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(tr, Options{IntervalLen: 5000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic point count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic points")
+		}
+	}
+}
+
+func TestWeightedCycles(t *testing.T) {
+	points := []Point{
+		{Interval: Interval{Start: 0, Len: 100}, Weight: 0.75},
+		{Interval: Interval{Start: 100, Len: 100}, Weight: 0.25},
+	}
+	// CPI 2 on the common phase, CPI 4 on the rare one → blended CPI 2.5.
+	est, err := WeightedCycles(points, []float64{200, 400}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-2500) > 1e-9 {
+		t.Fatalf("estimate = %v, want 2500", est)
+	}
+}
+
+func TestWeightedCyclesErrors(t *testing.T) {
+	if _, err := WeightedCycles(nil, nil, 100); err == nil {
+		t.Fatal("empty: want error")
+	}
+	pts := []Point{{Interval: Interval{Len: 10}, Weight: 1}}
+	if _, err := WeightedCycles(pts, []float64{1, 2}, 100); err == nil {
+		t.Fatal("mismatch: want error")
+	}
+	bad := []Point{{Interval: Interval{Len: 0}, Weight: 1}}
+	if _, err := WeightedCycles(bad, []float64{1}, 100); err == nil {
+		t.Fatal("zero-length point: want error")
+	}
+}
+
+// TestSimPointEstimateTracksFullSimulation is the methodology check: the
+// weighted simulation-point estimate should approximate simulating the
+// whole trace.
+func TestSimPointEstimateTracksFullSimulation(t *testing.T) {
+	tr := genTrace(t, "mesa", 120000)
+	points, err := Select(tr, Options{IntervalLen: 6000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultCfg()
+	full, err := cpu.Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate each point with warmup, the way SimPoint sampling runs.
+	cycles := make([]float64, len(points))
+	for i, p := range points {
+		res, err := cpu.SimulateSlice(cfg, tr, p.Start, p.Len, 2*p.Len)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[i] = res.Cycles
+	}
+	est, err := WeightedCycles(points, cycles, tr.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(est-full.Cycles) / full.Cycles
+	if relErr > 0.25 {
+		t.Fatalf("SimPoint estimate off by %.1f%% (est %v, full %v)", 100*relErr, est, full.Cycles)
+	}
+}

@@ -1,0 +1,27 @@
+package simpoint
+
+import (
+	"perfpred/internal/bpred"
+	"perfpred/internal/cpu"
+	"perfpred/internal/mem"
+)
+
+// defaultCfg returns a mid-range core configuration for methodology tests.
+func defaultCfg() cpu.Config {
+	cfg := cpu.Config{
+		Mem: mem.HierarchyConfig{
+			L1I:  mem.CacheConfig{SizeKB: 32, LineBytes: 64, Assoc: 4},
+			L1D:  mem.CacheConfig{SizeKB: 32, LineBytes: 64, Assoc: 4},
+			L2:   mem.CacheConfig{SizeKB: 1024, LineBytes: 128, Assoc: 8},
+			ITLB: mem.TLBConfig{CoverageKB: 256},
+			DTLB: mem.TLBConfig{CoverageKB: 512},
+		},
+		BPred: bpred.Combination,
+		Width: 4,
+		RUU:   128,
+		LSQ:   64,
+		FU:    cpu.FUConfig{IntALU: 4, IntMult: 2, MemPort: 2, FPALU: 4, FPMult: 2},
+	}
+	cpu.DefaultLatencies(&cfg)
+	return cfg
+}

@@ -1,0 +1,227 @@
+// Package space defines the microprocessor design space of the paper's
+// Table 1 — 24 configuration parameters whose varied combinations yield
+// 4608 distinct configurations per benchmark — and the utilities to
+// enumerate it, convert points to simulator configurations, encode points
+// as dataset records, and sweep the whole space in parallel.
+//
+// The paper's table lists value sets per parameter without spelling out
+// which parameters co-vary; the product of all listed alternatives exceeds
+// 4608, so some must be linked. We link them the way commercial design
+// generations scale together, which reproduces the published space size
+// exactly:
+//
+//   - L2 capacity and associativity move together (256 KB 4-way ↔ 1 MB 8-way),
+//   - the pipeline width moves with the functional-unit mix
+//     (4-wide ↔ 4/2/2/4/2, 8-wide ↔ 8/4/4/8/4),
+//   - the window scale moves RUU/LSQ/ITLB/DTLB together
+//     (128/64/256 KB/512 KB ↔ 256/128/1024 KB/2048 KB).
+//
+// Free dimensions: L1D (3 sizes × 2 lines) × L1I (3 × 2) × L2 (2) × L3
+// (2) × predictor (4) × width (2) × window (2) × wrong-path issue (2)
+// = 4608.
+package space
+
+import (
+	"errors"
+	"fmt"
+
+	"perfpred/internal/bpred"
+	"perfpred/internal/cpu"
+	"perfpred/internal/dataset"
+	"perfpred/internal/mem"
+)
+
+// MicroConfig is one point of the Table 1 design space, with every one of
+// the 24 parameters spelled out (including the ones Table 1 holds
+// constant, such as the L1 associativities).
+type MicroConfig struct {
+	L1DSizeKB, L1DLineB, L1DAssoc int
+	L1ISizeKB, L1ILineB, L1IAssoc int
+	L2SizeKB, L2LineB, L2Assoc    int
+	// L3SizeMB == 0 encodes the "no L3" option; line/assoc are then 0 too.
+	L3SizeMB, L3LineB, L3Assoc int
+	BPred                      bpred.Kind
+	Width                      int
+	IssueWrong                 bool
+	RUU, LSQ                   int
+	ITLBKB, DTLBKB             int
+	FU                         cpu.FUConfig
+}
+
+// SpaceSize is the number of configurations in the enumerated space,
+// matching the paper's 4608 simulations per benchmark.
+const SpaceSize = 4608
+
+// Enumerate lists every configuration of the space in a fixed order.
+func Enumerate() []MicroConfig {
+	l1Sizes := []int{16, 32, 64}
+	lines := []int{32, 64}
+	type l2opt struct{ size, assoc int }
+	l2s := []l2opt{{256, 4}, {1024, 8}}
+	l3s := []bool{false, true}
+	preds := bpred.Kinds()
+	type core struct {
+		width int
+		fu    cpu.FUConfig
+	}
+	cores := []core{
+		{4, cpu.FUConfig{IntALU: 4, IntMult: 2, MemPort: 2, FPALU: 4, FPMult: 2}},
+		{8, cpu.FUConfig{IntALU: 8, IntMult: 4, MemPort: 4, FPALU: 8, FPMult: 4}},
+	}
+	type window struct{ ruu, lsq, itlb, dtlb int }
+	windows := []window{
+		{128, 64, 256, 512},
+		{256, 128, 1024, 2048},
+	}
+	issueWrong := []bool{false, true}
+
+	out := make([]MicroConfig, 0, SpaceSize)
+	for _, dSize := range l1Sizes {
+		for _, dLine := range lines {
+			for _, iSize := range l1Sizes {
+				for _, iLine := range lines {
+					for _, l2 := range l2s {
+						for _, hasL3 := range l3s {
+							for _, p := range preds {
+								for _, c := range cores {
+									for _, w := range windows {
+										for _, iw := range issueWrong {
+											m := MicroConfig{
+												L1DSizeKB: dSize, L1DLineB: dLine, L1DAssoc: 4,
+												L1ISizeKB: iSize, L1ILineB: iLine, L1IAssoc: 4,
+												L2SizeKB: l2.size, L2LineB: 128, L2Assoc: l2.assoc,
+												BPred: p,
+												Width: c.width, FU: c.fu,
+												IssueWrong: iw,
+												RUU:        w.ruu, LSQ: w.lsq,
+												ITLBKB: w.itlb, DTLBKB: w.dtlb,
+											}
+											if hasL3 {
+												m.L3SizeMB, m.L3LineB, m.L3Assoc = 8, 256, 8
+											}
+											out = append(out, m)
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CPUConfig converts the point into a simulator configuration with the
+// standard fixed latencies filled in.
+func (m MicroConfig) CPUConfig() cpu.Config {
+	cfg := cpu.Config{
+		Mem: mem.HierarchyConfig{
+			L1I:  mem.CacheConfig{SizeKB: m.L1ISizeKB, LineBytes: m.L1ILineB, Assoc: m.L1IAssoc},
+			L1D:  mem.CacheConfig{SizeKB: m.L1DSizeKB, LineBytes: m.L1DLineB, Assoc: m.L1DAssoc},
+			L2:   mem.CacheConfig{SizeKB: m.L2SizeKB, LineBytes: m.L2LineB, Assoc: m.L2Assoc},
+			ITLB: mem.TLBConfig{CoverageKB: m.ITLBKB},
+			DTLB: mem.TLBConfig{CoverageKB: m.DTLBKB},
+		},
+		BPred:      m.BPred,
+		Width:      m.Width,
+		IssueWrong: m.IssueWrong,
+		RUU:        m.RUU,
+		LSQ:        m.LSQ,
+		FU:         m.FU,
+	}
+	if m.L3SizeMB > 0 {
+		cfg.Mem.L3 = mem.CacheConfig{SizeKB: m.L3SizeMB * 1024, LineBytes: m.L3LineB, Assoc: m.L3Assoc}
+	}
+	cpu.DefaultLatencies(&cfg)
+	return cfg
+}
+
+// Schema returns the 24-field dataset schema of a design-space record.
+// Numeric parameters stay numeric; the branch predictor is categorical
+// with a numeric strength mapping so linear regression can use it; the
+// wrong-path-issue option is a flag. Constant fields (the L1
+// associativities and the L2 line size) are retained in the schema — the
+// encoder drops them exactly the way Clementine omits constant predictors.
+func Schema() *dataset.Schema {
+	levels := map[string]float64{}
+	for _, k := range bpred.Kinds() {
+		levels[k.String()] = k.NumericLevel()
+	}
+	s, err := dataset.NewSchema("cycles",
+		dataset.Field{Name: "l1d_size_kb", Kind: dataset.Numeric},
+		dataset.Field{Name: "l1d_line_b", Kind: dataset.Numeric},
+		dataset.Field{Name: "l1d_assoc", Kind: dataset.Numeric},
+		dataset.Field{Name: "l1i_size_kb", Kind: dataset.Numeric},
+		dataset.Field{Name: "l1i_line_b", Kind: dataset.Numeric},
+		dataset.Field{Name: "l1i_assoc", Kind: dataset.Numeric},
+		dataset.Field{Name: "l2_size_kb", Kind: dataset.Numeric},
+		dataset.Field{Name: "l2_line_b", Kind: dataset.Numeric},
+		dataset.Field{Name: "l2_assoc", Kind: dataset.Numeric},
+		dataset.Field{Name: "l3_size_mb", Kind: dataset.Numeric},
+		dataset.Field{Name: "l3_line_b", Kind: dataset.Numeric},
+		dataset.Field{Name: "l3_assoc", Kind: dataset.Numeric},
+		dataset.Field{Name: "bpred", Kind: dataset.Categorical, NumericLevels: levels},
+		dataset.Field{Name: "width", Kind: dataset.Numeric},
+		dataset.Field{Name: "issue_wrong", Kind: dataset.Flag},
+		dataset.Field{Name: "ruu", Kind: dataset.Numeric},
+		dataset.Field{Name: "lsq", Kind: dataset.Numeric},
+		dataset.Field{Name: "itlb_kb", Kind: dataset.Numeric},
+		dataset.Field{Name: "dtlb_kb", Kind: dataset.Numeric},
+		dataset.Field{Name: "fu_ialu", Kind: dataset.Numeric},
+		dataset.Field{Name: "fu_imult", Kind: dataset.Numeric},
+		dataset.Field{Name: "fu_memport", Kind: dataset.Numeric},
+		dataset.Field{Name: "fu_fpalu", Kind: dataset.Numeric},
+		dataset.Field{Name: "fu_fpmult", Kind: dataset.Numeric},
+	)
+	if err != nil {
+		panic(fmt.Sprintf("space: schema construction failed: %v", err)) // static schema; unreachable
+	}
+	return s
+}
+
+// Row encodes the point as a dataset record matching Schema().
+func (m MicroConfig) Row() []dataset.Value {
+	return []dataset.Value{
+		dataset.Num(float64(m.L1DSizeKB)),
+		dataset.Num(float64(m.L1DLineB)),
+		dataset.Num(float64(m.L1DAssoc)),
+		dataset.Num(float64(m.L1ISizeKB)),
+		dataset.Num(float64(m.L1ILineB)),
+		dataset.Num(float64(m.L1IAssoc)),
+		dataset.Num(float64(m.L2SizeKB)),
+		dataset.Num(float64(m.L2LineB)),
+		dataset.Num(float64(m.L2Assoc)),
+		dataset.Num(float64(m.L3SizeMB)),
+		dataset.Num(float64(m.L3LineB)),
+		dataset.Num(float64(m.L3Assoc)),
+		dataset.Cat(m.BPred.String()),
+		dataset.Num(float64(m.Width)),
+		dataset.FlagVal(m.IssueWrong),
+		dataset.Num(float64(m.RUU)),
+		dataset.Num(float64(m.LSQ)),
+		dataset.Num(float64(m.ITLBKB)),
+		dataset.Num(float64(m.DTLBKB)),
+		dataset.Num(float64(m.FU.IntALU)),
+		dataset.Num(float64(m.FU.IntMult)),
+		dataset.Num(float64(m.FU.MemPort)),
+		dataset.Num(float64(m.FU.FPALU)),
+		dataset.Num(float64(m.FU.FPMult)),
+	}
+}
+
+// BuildDataset assembles a dataset from configurations and their measured
+// cycle counts.
+func BuildDataset(cfgs []MicroConfig, cycles []float64) (*dataset.Dataset, error) {
+	if len(cfgs) != len(cycles) {
+		return nil, errors.New("space: configs/cycles length mismatch")
+	}
+	d := dataset.New(Schema())
+	for i, c := range cfgs {
+		if err := d.Append(c.Row(), cycles[i]); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

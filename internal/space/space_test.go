@@ -1,0 +1,163 @@
+package space
+
+import (
+	"testing"
+
+	"perfpred/internal/bpred"
+	"perfpred/internal/dataset"
+)
+
+func TestEnumerateSize(t *testing.T) {
+	cfgs := Enumerate()
+	if len(cfgs) != SpaceSize {
+		t.Fatalf("space size = %d, want %d (paper Table 1)", len(cfgs), SpaceSize)
+	}
+}
+
+func TestEnumerateDistinct(t *testing.T) {
+	cfgs := Enumerate()
+	seen := map[MicroConfig]bool{}
+	for _, c := range cfgs {
+		if seen[c] {
+			t.Fatalf("duplicate configuration %+v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestEnumerateCoversTable1Values(t *testing.T) {
+	cfgs := Enumerate()
+	l1d := map[int]bool{}
+	preds := map[bpred.Kind]bool{}
+	widths := map[int]bool{}
+	l3 := map[int]bool{}
+	ruu := map[int]bool{}
+	for _, c := range cfgs {
+		l1d[c.L1DSizeKB] = true
+		preds[c.BPred] = true
+		widths[c.Width] = true
+		l3[c.L3SizeMB] = true
+		ruu[c.RUU] = true
+	}
+	for _, s := range []int{16, 32, 64} {
+		if !l1d[s] {
+			t.Errorf("L1D size %d missing", s)
+		}
+	}
+	if len(preds) != 4 {
+		t.Errorf("predictors covered: %d, want 4", len(preds))
+	}
+	if !widths[4] || !widths[8] {
+		t.Error("widths 4/8 not both covered")
+	}
+	if !l3[0] || !l3[8] {
+		t.Error("L3 on/off not both covered")
+	}
+	if !ruu[128] || !ruu[256] {
+		t.Error("RUU 128/256 not both covered")
+	}
+}
+
+func TestEnumerateCouplings(t *testing.T) {
+	for _, c := range Enumerate() {
+		// Width ↔ FU coupling.
+		if c.Width == 4 && c.FU.IntALU != 4 {
+			t.Fatalf("width 4 with FU %s", c.FU)
+		}
+		if c.Width == 8 && c.FU.IntALU != 8 {
+			t.Fatalf("width 8 with FU %s", c.FU)
+		}
+		// Window coupling.
+		if c.RUU == 128 && (c.LSQ != 64 || c.ITLBKB != 256 || c.DTLBKB != 512) {
+			t.Fatalf("small window inconsistent: %+v", c)
+		}
+		if c.RUU == 256 && (c.LSQ != 128 || c.ITLBKB != 1024 || c.DTLBKB != 2048) {
+			t.Fatalf("large window inconsistent: %+v", c)
+		}
+		// L2 coupling.
+		if c.L2SizeKB == 256 && c.L2Assoc != 4 {
+			t.Fatalf("L2 256KB must be 4-way: %+v", c)
+		}
+		if c.L2SizeKB == 1024 && c.L2Assoc != 8 {
+			t.Fatalf("L2 1MB must be 8-way: %+v", c)
+		}
+		// L3 all-or-nothing.
+		if (c.L3SizeMB == 0) != (c.L3LineB == 0) || (c.L3SizeMB == 0) != (c.L3Assoc == 0) {
+			t.Fatalf("partial L3 config: %+v", c)
+		}
+	}
+}
+
+func TestCPUConfigsValidate(t *testing.T) {
+	cfgs := Enumerate()
+	// Validating all 4608 is cheap.
+	for i, c := range cfgs {
+		if err := c.CPUConfig().Validate(); err != nil {
+			t.Fatalf("config %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestSchemaHas24Fields(t *testing.T) {
+	s := Schema()
+	if len(s.Fields) != 24 {
+		t.Fatalf("schema has %d fields, want 24 (paper §3/§4.1)", len(s.Fields))
+	}
+	if s.Target != "cycles" {
+		t.Fatalf("target = %q", s.Target)
+	}
+}
+
+func TestRowMatchesSchema(t *testing.T) {
+	s := Schema()
+	row := Enumerate()[0].Row()
+	if len(row) != len(s.Fields) {
+		t.Fatalf("row width %d vs schema %d", len(row), len(s.Fields))
+	}
+	d := dataset.New(s)
+	if err := d.Append(row, 123); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	cfgs := Enumerate()[:10]
+	cycles := make([]float64, 10)
+	for i := range cycles {
+		cycles[i] = float64(1000 + i)
+	}
+	d, err := BuildDataset(cfgs, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 10 || d.Target(3) != 1003 {
+		t.Fatal("dataset contents wrong")
+	}
+	if _, err := BuildDataset(cfgs, cycles[:5]); err == nil {
+		t.Fatal("length mismatch: want error")
+	}
+}
+
+func TestConstantFieldsOmittedByEncoder(t *testing.T) {
+	// L1 associativities and L2 line size are constant across the space;
+	// the encoder must drop them (Clementine behaviour, paper §3.4).
+	cfgs := Enumerate()[:64]
+	cycles := make([]float64, len(cfgs))
+	for i := range cycles {
+		cycles[i] = float64(i + 1)
+	}
+	d, err := BuildDataset(cfgs, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := dataset.FitEncoder(d, dataset.ForNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := enc.Omitted()
+	for _, f := range []string{"l1d_assoc", "l1i_assoc", "l2_line_b"} {
+		if _, ok := om[f]; !ok {
+			t.Errorf("constant field %s not omitted", f)
+		}
+	}
+}

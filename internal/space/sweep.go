@@ -1,0 +1,76 @@
+package space
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"perfpred/internal/cpu"
+)
+
+// Sweep simulates every configuration against the evaluator's trace using
+// up to workers goroutines (0 means GOMAXPROCS) and returns the cycle count
+// per configuration, index-aligned with cfgs. The result is deterministic
+// regardless of worker count: the evaluator memoizes substrate passes and
+// the pipeline combine step is pure.
+func Sweep(eval *cpu.Evaluator, cfgs []MicroConfig, workers int) ([]float64, error) {
+	if eval == nil {
+		return nil, errors.New("space: nil evaluator")
+	}
+	if len(cfgs) == 0 {
+		return nil, errors.New("space: no configurations to sweep")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	cycles := make([]float64, len(cfgs))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	var next int64
+	var mu sync.Mutex
+	takeBatch := func() (int, int) {
+		const batch = 16
+		mu.Lock()
+		defer mu.Unlock()
+		lo := int(next)
+		if lo >= len(cfgs) {
+			return 0, 0
+		}
+		hi := lo + batch
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		next = int64(hi)
+		return lo, hi
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo, hi := takeBatch()
+				if lo == hi {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					res, err := eval.Simulate(cfgs[i].CPUConfig())
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					cycles[i] = res.Cycles
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cycles, nil
+}

@@ -1,0 +1,131 @@
+package space
+
+import (
+	"testing"
+
+	"perfpred/internal/cpu"
+	"perfpred/internal/stat"
+	"perfpred/internal/trace"
+)
+
+func sweepTrace(t *testing.T, name string, n int) *cpu.Evaluator {
+	t.Helper()
+	p, err := trace.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(p, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := cpu.NewEvaluator(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSweepSubsetDeterministicAcrossWorkers(t *testing.T) {
+	e := sweepTrace(t, "gcc", 8000)
+	cfgs := Enumerate()[:128]
+	c1, err := Sweep(e, cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := Sweep(sweepTrace(t, "gcc", 8000), cfgs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c1 {
+		if c1[i] != c8[i] {
+			t.Fatalf("config %d: 1-worker %v vs 8-worker %v", i, c1[i], c8[i])
+		}
+	}
+}
+
+func TestSweepAllPositive(t *testing.T) {
+	e := sweepTrace(t, "mesa", 8000)
+	cfgs := Enumerate()[:256]
+	cycles, err := Sweep(e, cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cycles {
+		if c <= 0 {
+			t.Fatalf("config %d: cycles %v", i, c)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := Sweep(nil, Enumerate()[:1], 1); err == nil {
+		t.Fatal("nil evaluator: want error")
+	}
+	e := sweepTrace(t, "gcc", 2000)
+	if _, err := Sweep(e, nil, 1); err == nil {
+		t.Fatal("no configs: want error")
+	}
+}
+
+// TestWorkloadCalibration checks the §4.1 shape: the per-application
+// cycle range over a sampled slice of the design space must order the
+// applications the way the paper's full-space statistics do
+// (mcf > gcc > mesa > equake ≥ applu) with applu nearly flat and mcf
+// strongly configuration-sensitive.
+func TestWorkloadCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	all := Enumerate()
+	// A stride coprime to every enumeration dimension covers the space.
+	var cfgs []MicroConfig
+	for i := 0; i < len(all); i += 11 {
+		cfgs = append(cfgs, all[i])
+	}
+	ranges := map[string]float64{}
+	for _, name := range []string{"applu", "equake", "gcc", "mesa", "mcf"} {
+		// Each profile's recommended length guarantees every reuse loop
+		// completes multiple passes.
+		p, err := trace.ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := sweepTrace(t, name, p.SimLen)
+		cycles, err := Sweep(e, cfgs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := stat.Range(cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges[name] = r
+		t.Logf("%s: range %.2f variance %.3f", name, r, stat.NormalizedVariance(cycles))
+	}
+	if !(ranges["mcf"] > ranges["gcc"]) {
+		t.Errorf("mcf range %.2f should exceed gcc %.2f", ranges["mcf"], ranges["gcc"])
+	}
+	if !(ranges["gcc"] > ranges["mesa"]) {
+		t.Errorf("gcc range %.2f should exceed mesa %.2f", ranges["gcc"], ranges["mesa"])
+	}
+	if !(ranges["mesa"] > ranges["applu"]) {
+		t.Errorf("mesa range %.2f should exceed applu %.2f", ranges["mesa"], ranges["applu"])
+	}
+	// Loose absolute bands around the paper's values.
+	band := func(name string, lo, hi float64) {
+		if r := ranges[name]; r < lo || r > hi {
+			t.Errorf("%s range %.2f outside calibration band [%.1f, %.1f] (paper %.2f)",
+				name, r, lo, hi, map[string]float64{
+					"applu": 1.62, "equake": 1.73, "gcc": 5.27, "mesa": 2.22, "mcf": 6.38,
+				}[name])
+		}
+	}
+	band("applu", 1.2, 2.2)
+	band("equake", 1.3, 2.6)
+	band("gcc", 2.8, 8.5)
+	band("mesa", 1.5, 3.6)
+	band("mcf", 3.0, 10.5)
+	if !(ranges["gcc"] > ranges["equake"]) {
+		t.Errorf("gcc range %.2f should exceed equake %.2f", ranges["gcc"], ranges["equake"])
+	}
+}

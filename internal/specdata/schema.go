@@ -1,0 +1,86 @@
+// Package specdata synthesizes the published SPEC CPU2000 results database
+// the paper's chronological experiments train on (§4.1, §4.3). The real
+// database is scraped from spec.org and cannot ship here, so the package
+// generates statistically equivalent announcements: seven system families
+// (Intel Xeon, Pentium 4, Pentium D; AMD Opteron 1/2/4/8-way SMPs) with
+// the paper's published record counts, performance ranges and variances, a
+// 32-parameter system-description schema, per-application execution times
+// whose geometric-mean ratio reproduces the SPEC rating, and genuine
+// year-over-year technology drift (2006 parts extend beyond the 2005
+// envelope, which is what makes chronological prediction an extrapolation
+// problem).
+package specdata
+
+import (
+	"fmt"
+
+	"perfpred/internal/dataset"
+)
+
+// Schema returns the 32-field system-description schema of one SPEC
+// announcement, mirroring the parameter list in the paper's §4.1. Fields a
+// linear model can use numerically are numeric or flags; symbolic fields
+// (vendor, model names, disk type, extras) are categorical — hdd_type has
+// a numeric mapping, the rest are omitted by LR encodings exactly as
+// Clementine omits unmappable fields.
+func Schema() *dataset.Schema {
+	s, err := dataset.NewSchema("spec_rate",
+		dataset.Field{Name: "company", Kind: dataset.Categorical},
+		dataset.Field{Name: "system_name", Kind: dataset.Categorical},
+		dataset.Field{Name: "processor_model", Kind: dataset.Categorical},
+		dataset.Field{Name: "bus_mhz", Kind: dataset.Numeric},
+		dataset.Field{Name: "speed_mhz", Kind: dataset.Numeric},
+		dataset.Field{Name: "fpu_integrated", Kind: dataset.Flag},
+		dataset.Field{Name: "total_cores", Kind: dataset.Numeric},
+		dataset.Field{Name: "total_chips", Kind: dataset.Numeric},
+		dataset.Field{Name: "cores_per_chip", Kind: dataset.Numeric},
+		dataset.Field{Name: "smt", Kind: dataset.Flag},
+		dataset.Field{Name: "parallel", Kind: dataset.Flag},
+		dataset.Field{Name: "l1i_kb", Kind: dataset.Numeric},
+		dataset.Field{Name: "l1d_kb", Kind: dataset.Numeric},
+		dataset.Field{Name: "l1_per_core", Kind: dataset.Flag},
+		dataset.Field{Name: "l2_kb", Kind: dataset.Numeric},
+		dataset.Field{Name: "l2_on_chip", Kind: dataset.Flag},
+		dataset.Field{Name: "l2_shared", Kind: dataset.Flag},
+		dataset.Field{Name: "l2_unified", Kind: dataset.Flag},
+		dataset.Field{Name: "l3_kb", Kind: dataset.Numeric},
+		dataset.Field{Name: "l3_on_chip", Kind: dataset.Flag},
+		dataset.Field{Name: "l3_per_core", Kind: dataset.Flag},
+		dataset.Field{Name: "l3_shared", Kind: dataset.Flag},
+		dataset.Field{Name: "l3_unified", Kind: dataset.Flag},
+		dataset.Field{Name: "l4_kb", Kind: dataset.Numeric},
+		dataset.Field{Name: "l4_shared_count", Kind: dataset.Numeric},
+		dataset.Field{Name: "l4_on_chip", Kind: dataset.Flag},
+		dataset.Field{Name: "mem_gb", Kind: dataset.Numeric},
+		dataset.Field{Name: "mem_mhz", Kind: dataset.Numeric},
+		dataset.Field{Name: "hdd_gb", Kind: dataset.Numeric},
+		dataset.Field{Name: "hdd_rpm", Kind: dataset.Numeric},
+		dataset.Field{Name: "hdd_type", Kind: dataset.Categorical, NumericLevels: map[string]float64{
+			"IDE": 1, "SATA": 2, "SCSI": 3, "SAS": 4,
+		}},
+		dataset.Field{Name: "extra", Kind: dataset.Categorical},
+	)
+	if err != nil {
+		panic(fmt.Sprintf("specdata: schema construction failed: %v", err)) // static schema; unreachable
+	}
+	return s
+}
+
+// IntApps lists the twelve SPEC CINT2000 applications whose per-system
+// execution times each announcement reports.
+func IntApps() []string {
+	return []string{
+		"gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+		"eon", "perlbmk", "gap", "vortex", "bzip2", "twolf",
+	}
+}
+
+// RefTimes returns the SPEC CINT2000 reference times (seconds) used to
+// normalize measured runtimes into per-application ratios.
+func RefTimes() map[string]float64 {
+	return map[string]float64{
+		"gzip": 1400, "vpr": 1400, "gcc": 1100, "mcf": 1800,
+		"crafty": 1000, "parser": 1800, "eon": 1300, "perlbmk": 1800,
+		"gap": 1100, "vortex": 1900, "bzip2": 1500, "twolf": 3000,
+	}
+}

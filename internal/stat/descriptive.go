@@ -1,0 +1,262 @@
+// Package stat provides the statistical machinery the predictive-modeling
+// framework is built on: descriptive statistics, special functions
+// (log-gamma, regularized incomplete beta and gamma), the Normal, Student-t
+// and F distributions used by the regression variable-selection tests, and
+// deterministic random-stream derivation used to keep every experiment
+// reproducible regardless of parallelism.
+package stat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by descriptive statistics that are undefined on an
+// empty sample.
+var ErrEmpty = errors.New("stat: empty sample")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the population variance of xs (divide by n). The paper
+// reports population variances for its workload ranges, so that convention
+// is used throughout the calibration code.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance of xs (divide by n-1).
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// SampleStdDev returns the sample standard deviation of xs.
+func SampleStdDev(xs []float64) float64 { return math.Sqrt(SampleVariance(xs)) }
+
+// GeoMean returns the geometric mean of xs. All elements must be positive;
+// a non-positive element yields an error. SPEC ratings are geometric means
+// of per-application performance ratios, so this is the rating kernel.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stat: geometric mean of non-positive value")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// Min returns the minimum of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Range returns max/min, the paper's definition of the spread of a set of
+// performance numbers ("the best system has 1.40 times better performance
+// than the worst system"). All elements must be positive.
+func Range(xs []float64) (float64, error) {
+	lo, err := Min(xs)
+	if err != nil {
+		return 0, err
+	}
+	hi, _ := Max(xs)
+	if lo <= 0 {
+		return 0, errors.New("stat: range of non-positive values")
+	}
+	return hi / lo, nil
+}
+
+// NormalizedVariance returns the population variance of xs after dividing
+// every element by the sample mean. The paper reports this scale-free
+// variance alongside the range for both the simulation outcomes and the
+// SPEC families.
+func NormalizedVariance(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	norm := make([]float64, len(xs))
+	for i, x := range xs {
+		norm[i] = x / m
+	}
+	return Variance(norm)
+}
+
+// MAPE returns the mean absolute percentage error 100*|yhat-y|/y averaged
+// over all pairs, the paper's error metric (Section 4.2). Records with a
+// true value of zero are skipped; if every record is skipped MAPE returns
+// an error.
+func MAPE(yhat, y []float64) (float64, error) {
+	if len(yhat) != len(y) {
+		return 0, errors.New("stat: MAPE length mismatch")
+	}
+	if len(y) == 0 {
+		return 0, ErrEmpty
+	}
+	s, n := 0.0, 0
+	for i := range y {
+		if y[i] == 0 {
+			continue
+		}
+		s += 100 * math.Abs(yhat[i]-y[i]) / math.Abs(y[i])
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("stat: MAPE undefined, all true values zero")
+	}
+	return s / float64(n), nil
+}
+
+// APEs returns the individual absolute percentage errors 100*|yhat-y|/y.
+// Pairs with y == 0 produce a NaN-free 0 contribution and are reported as 0.
+func APEs(yhat, y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i := range y {
+		if y[i] == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = 100 * math.Abs(yhat[i]-y[i]) / math.Abs(y[i])
+	}
+	return out
+}
+
+// RMSE returns the root mean squared error between yhat and y.
+func RMSE(yhat, y []float64) (float64, error) {
+	if len(yhat) != len(y) {
+		return 0, errors.New("stat: RMSE length mismatch")
+	}
+	if len(y) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for i := range y {
+		d := yhat[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(y))), nil
+}
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2], nil
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stat: quantile out of [0,1]")
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo], nil
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac, nil
+}
+
+// Correlation returns the Pearson correlation coefficient between x and y.
+func Correlation(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("stat: correlation length mismatch")
+	}
+	if len(x) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stat: correlation undefined for constant input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace checks the binary trace decoder never panics and either
+// returns a valid trace or an error, on arbitrary input.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a real trace and a few corruptions of it.
+	p, err := ProfileByName("gzip")
+	if err != nil {
+		f.Fatal(err)
+	}
+	tr, err := Generate(p, 500, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("PPTR"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[10] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must be internally consistent.
+		if tr.Len() == 0 || tr.Profile() == nil {
+			t.Fatal("decoder returned an invalid trace without error")
+		}
+		if err := tr.Profile().Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid profile: %v", err)
+		}
+	})
+}

@@ -1,0 +1,11 @@
+package trace
+
+import "perfpred/internal/stat"
+
+// newTestRand returns a deterministic PRNG for sampler tests.
+func newTestRand(seed int64) interface {
+	Float64() float64
+	Int63() int64
+} {
+	return stat.NewRand(seed)
+}

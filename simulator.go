@@ -1,0 +1,152 @@
+package perfpred
+
+import (
+	"fmt"
+
+	"perfpred/internal/cpu"
+	"perfpred/internal/simpoint"
+	"perfpred/internal/space"
+	"perfpred/internal/trace"
+)
+
+// MicroConfig is one point of the paper's Table 1 microprocessor design
+// space, with all 24 parameters spelled out.
+type MicroConfig = space.MicroConfig
+
+// DesignSpaceSize is the number of configurations in the Table 1 space.
+const DesignSpaceSize = space.SpaceSize
+
+// MicroDesignSpace enumerates all 4608 configurations of Table 1.
+func MicroDesignSpace() []MicroConfig { return space.Enumerate() }
+
+// MicroSchema returns the 24-field dataset schema of a design-space record.
+func MicroSchema() *Schema { return space.Schema() }
+
+// Benchmarks lists the available SPEC CPU2000 workload models.
+func Benchmarks() []string {
+	ps := trace.Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// FiguredBenchmarks lists the five benchmarks of the paper's Figures 2–6.
+func FiguredBenchmarks() []string {
+	ps := trace.FiguredProfiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// SimOptions configures design-space simulation.
+type SimOptions struct {
+	// TraceLen overrides the benchmark's recommended instruction count
+	// (zero keeps the recommendation).
+	TraceLen int
+	// Seed drives trace generation (default 1).
+	Seed int64
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Stride simulates every Stride-th configuration instead of all 4608
+	// (0 or 1 = full space). Use a stride coprime to the space dimensions
+	// (e.g. 11) for a representative systematic sample.
+	Stride int
+}
+
+// SimulateDesignSpace runs the named benchmark's synthetic trace through
+// every configuration of the Table 1 design space (or a systematic
+// subsample) on the cycle-approximate simulator and returns the resulting
+// (configuration → cycles) dataset — the ground truth of the sampled-DSE
+// experiments.
+func SimulateDesignSpace(benchmark string, opts SimOptions) (*Dataset, error) {
+	prof, err := trace.ProfileByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	n := opts.TraceLen
+	if n == 0 {
+		n = prof.SimLen
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	tr, err := trace.Generate(prof, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := cpu.NewEvaluator(tr)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := space.Enumerate()
+	if opts.Stride > 1 {
+		var sub []space.MicroConfig
+		for i := 0; i < len(cfgs); i += opts.Stride {
+			sub = append(sub, cfgs[i])
+		}
+		cfgs = sub
+	}
+	cycles, err := space.Sweep(eval, cfgs, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return space.BuildDataset(cfgs, cycles)
+}
+
+// SimResult reports one simulated configuration.
+type SimResult = cpu.Result
+
+// SimulateConfig runs the named benchmark through a single design-space
+// configuration and returns the detailed result (cycle breakdown, miss
+// counts).
+func SimulateConfig(benchmark string, cfg MicroConfig, opts SimOptions) (*SimResult, error) {
+	prof, err := trace.ProfileByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	n := opts.TraceLen
+	if n == 0 {
+		n = prof.SimLen
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	tr, err := trace.Generate(prof, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return cpu.Simulate(cfg.CPUConfig(), tr)
+}
+
+// SimPoint is one selected representative simulation interval.
+type SimPoint = simpoint.Point
+
+// SelectSimPoints runs the SimPoint methodology (basic-block vectors +
+// k-means) on the named benchmark's trace and returns the representative
+// intervals and their weights.
+func SelectSimPoints(benchmark string, traceLen, intervalLen int, seed int64) ([]SimPoint, error) {
+	prof, err := trace.ProfileByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if traceLen == 0 {
+		traceLen = prof.SimLen
+	}
+	if intervalLen <= 0 {
+		return nil, fmt.Errorf("perfpred: interval length %d must be positive", intervalLen)
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	tr, err := trace.Generate(prof, traceLen, seed)
+	if err != nil {
+		return nil, err
+	}
+	return simpoint.Select(tr, simpoint.Options{IntervalLen: intervalLen, Seed: seed})
+}
