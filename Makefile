@@ -1,0 +1,27 @@
+# Standard checks. `make check` is the tier-1 gate: everything a change
+# must pass before merging.
+
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine and everything scheduled on it must be clean under the race
+# detector; the internal tree is where all the concurrency lives.
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# Substrate micro-benchmarks only (full-fidelity figure regeneration is
+# expensive; run those by name when needed).
+bench:
+	$(GO) test -run xxx -bench 'PredictDataset|NeuralQuick|EstimateError|SimulateConfig' -benchmem .

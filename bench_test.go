@@ -12,6 +12,7 @@
 package perfpred
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -38,7 +39,7 @@ var paperFractions = []float64{0.01, 0.02, 0.03, 0.04, 0.05}
 func benchSampledFigure(b *testing.B, bench string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		s, err := experiments.RunSampledStudy(bench, paperFractions, core.SampledModels(), fullCfg())
+		s, err := experiments.RunSampledStudy(context.Background(), bench, paperFractions, core.SampledModels(), fullCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func BenchmarkFigure6Mesa(b *testing.B) { benchSampledFigure(b, "mesa") }
 func benchChronoPanel(b *testing.B, family string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		s, err := experiments.RunChronoStudy(family, core.FigureModels(), fullCfg())
+		s, err := experiments.RunChronoStudy(context.Background(), family, core.FigureModels(), fullCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func BenchmarkTable1DesignSpace(b *testing.B) {
 // method for all seven system families.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t2, err := experiments.RunTable2(core.FigureModels(), fullCfg())
+		t2, err := experiments.RunTable2(context.Background(), core.FigureModels(), fullCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +152,7 @@ func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var studies []*experiments.SampledStudy
 		for _, bench := range []string{"applu", "equake", "gcc", "mesa", "mcf"} {
-			s, err := experiments.RunSampledStudy(bench, paperFractions, core.SampledModels(), fullCfg())
+			s, err := experiments.RunSampledStudy(context.Background(), bench, paperFractions, core.SampledModels(), fullCfg())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -172,7 +173,7 @@ func BenchmarkTable3(b *testing.B) {
 // family statistics.
 func BenchmarkSection41Calibration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		micro, err := experiments.RunMicroCalibration(fullCfg())
+		micro, err := experiments.RunMicroCalibration(context.Background(), fullCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -181,7 +182,7 @@ func BenchmarkSection41Calibration(b *testing.B) {
 				b.ReportMetric(row.Range, "mcfRange")
 			}
 		}
-		if _, err := experiments.RunSpecCalibration(fullCfg()); err != nil {
+		if _, err := experiments.RunSpecCalibration(context.Background(), fullCfg()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -192,7 +193,7 @@ func BenchmarkSection41Calibration(b *testing.B) {
 func BenchmarkSection44Importance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, fam := range []string{"Opteron", "Pentium D"} {
-			rep, err := experiments.RunImportance(fam, fullCfg())
+			rep, err := experiments.RunImportance(context.Background(), fam, fullCfg())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -244,7 +245,7 @@ func BenchmarkEvaluatorMemoizedSweep(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := space.Sweep(eval, cfgs, 0); err != nil {
+		if _, err := space.Sweep(context.Background(), eval, cfgs, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -301,7 +302,7 @@ func BenchmarkNeuralQuick(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := neural.Train(x, y, neural.Config{Method: neural.Quick, Seed: int64(i)}); err != nil {
+		if _, err := neural.Train(context.Background(), x, y, neural.Config{Method: neural.Quick, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -310,16 +311,47 @@ func BenchmarkNeuralQuick(b *testing.B) {
 // BenchmarkEstimateError measures the paper's five-fold error estimation
 // for LR-B on a 128-record sample.
 func BenchmarkEstimateError(b *testing.B) {
-	full, err := SimulateDesignSpace("applu", SimOptions{TraceLen: 60_000, Stride: 36})
+	full, err := SimulateDesignSpace(context.Background(), "applu", SimOptions{TraceLen: 60_000, Stride: 36})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.EstimateError(core.LRB, full, core.TrainConfig{Seed: int64(i)}); err != nil {
+		if _, err := core.EstimateError(context.Background(), core.LRB, full, core.TrainConfig{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPredictDataset compares whole-space scoring (the Figure 1a
+// "predict all 4608 points" step) through the engine's chunked parallel
+// map against the naive sequential row-by-row loop it replaced.
+func BenchmarkPredictDataset(b *testing.B) {
+	ctx := context.Background()
+	full, err := SimulateDesignSpace(ctx, "applu", SimOptions{TraceLen: 60_000, Stride: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := Train(ctx, LRB, full, TrainConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.PredictDataset(ctx, full); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < full.Len(); j++ {
+				if _, err := p.Predict(full.Row(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -332,7 +364,7 @@ func BenchmarkEstimateError(b *testing.B) {
 func BenchmarkExtensionPerApp(b *testing.B) {
 	kinds := []core.ModelKind{core.LRE, core.LRB, core.NNQ}
 	for i := 0; i < b.N; i++ {
-		s, err := experiments.RunPerAppChrono("Pentium D", kinds, fullCfg())
+		s, err := experiments.RunPerAppChrono(context.Background(), "Pentium D", kinds, fullCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -352,7 +384,7 @@ func BenchmarkExtensionPerApp(b *testing.B) {
 func BenchmarkExtensionRolling(b *testing.B) {
 	kinds := []core.ModelKind{core.LRE, core.LRB, core.NNQ}
 	for i := 0; i < b.N; i++ {
-		s, err := experiments.RunRollingChrono("Opteron 2", kinds, fullCfg())
+		s, err := experiments.RunRollingChrono(context.Background(), "Opteron 2", kinds, fullCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -365,7 +397,7 @@ func BenchmarkExtensionRolling(b *testing.B) {
 // criterion against the mean-fold alternative at 2% sampling on mcf.
 func BenchmarkAblationSelectCriterion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ab, err := experiments.RunSelectAblation("mcf", 0.02, core.SampledModels(), fullCfg())
+		ab, err := experiments.RunSelectAblation(context.Background(), "mcf", 0.02, core.SampledModels(), fullCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -380,7 +412,7 @@ func BenchmarkAblationSelectCriterion(b *testing.B) {
 // gcc at 2%).
 func BenchmarkAblationSamplingStrategy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ab, err := experiments.RunSamplingAblation("gcc", 0.02, core.NNE, fullCfg())
+		ab, err := experiments.RunSamplingAblation(context.Background(), "gcc", 0.02, core.NNE, fullCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -430,7 +462,7 @@ func BenchmarkAblationPrefetcher(b *testing.B) {
 // per-family analysis: cross-family error dwarfs within-family error.
 func BenchmarkExtensionCrossFamily(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.RunCrossFamily("Xeon", "Opteron", core.LRE, fullCfg())
+		r, err := experiments.RunCrossFamily(context.Background(), "Xeon", "Opteron", core.LRE, fullCfg())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -69,7 +70,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cycles, err := space.Sweep(eval, cfgs, 0)
+		cycles, err := space.Sweep(context.Background(), eval, cfgs, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

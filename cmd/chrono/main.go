@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 	"text/tabwriter"
 
 	"perfpred"
+	"perfpred/internal/progress"
 )
 
 func main() {
@@ -27,8 +29,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "master seed")
 	workers := flag.Int("workers", 0, "parallel workers")
 	epochs := flag.Float64("epochs", 1.0, "neural epoch scale")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+	verbose := flag.Bool("v", false, "log per-task progress (durations, folds, epochs)")
 	list := flag.Bool("list", false, "list available families and models")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var hook perfpred.Hook
+	if *verbose {
+		hook = progress.Hook(os.Stderr, false)
+	}
 
 	if *list {
 		fmt.Println("families:", strings.Join(perfpred.SPECFamilies(), ", "))
@@ -71,8 +86,8 @@ func main() {
 	fmt.Printf("%s: training on %d systems announced in 2005, predicting %d systems of 2006\n",
 		*family, train.Len(), future.Len())
 
-	res, err := perfpred.RunChronological(train, future, kinds, perfpred.TrainConfig{
-		Seed: *seed, Workers: *workers, EpochScale: *epochs,
+	res, err := perfpred.RunChronological(ctx, train, future, kinds, perfpred.TrainConfig{
+		Seed: *seed, Workers: *workers, EpochScale: *epochs, Hook: hook,
 	})
 	if err != nil {
 		log.Fatal(err)

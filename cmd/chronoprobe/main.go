@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -48,7 +49,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := core.RunChronological(train, future, core.FigureModels(), core.TrainConfig{
+		res, err := core.RunChronological(context.Background(), train, future, core.FigureModels(), core.TrainConfig{
 			Seed: *seed, EpochScale: *scale,
 		})
 		if err != nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"perfpred"
+	"perfpred/internal/progress"
 )
 
 func main() {
@@ -32,8 +34,21 @@ func main() {
 	epochs := flag.Float64("epochs", 1.0, "neural epoch scale")
 	traceLen := flag.Int("tracelen", 0, "trace length override")
 	stride := flag.Int("stride", 0, "design-space stride (0 = full space)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+	verbose := flag.Bool("v", false, "log per-task progress (durations, folds, epochs)")
 	list := flag.Bool("list", false, "list available benchmarks and models")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var hook perfpred.Hook
+	if *verbose {
+		hook = progress.Hook(os.Stderr, false)
+	}
 
 	if *list {
 		fmt.Println("benchmarks:", strings.Join(perfpred.Benchmarks(), ", "))
@@ -50,7 +65,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("simulating design space for %s...\n", *bench)
-	full, err := perfpred.SimulateDesignSpace(*bench, perfpred.SimOptions{
+	full, err := perfpred.SimulateDesignSpace(ctx, *bench, perfpred.SimOptions{
 		TraceLen: *traceLen, Seed: *seed, Workers: *workers, Stride: *stride,
 	})
 	if err != nil {
@@ -58,8 +73,8 @@ func main() {
 	}
 	fmt.Printf("space: %d configurations; sampling %.1f%%\n", full.Len(), 100**frac)
 
-	res, err := perfpred.RunSampledDSE(full, *frac, kinds, perfpred.TrainConfig{
-		Seed: *seed, Workers: *workers, EpochScale: *epochs,
+	res, err := perfpred.RunSampledDSE(ctx, full, *frac, kinds, perfpred.TrainConfig{
+		Seed: *seed, Workers: *workers, EpochScale: *epochs, Hook: hook,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,7 +25,9 @@ import (
 	"strings"
 
 	"perfpred/internal/core"
+	"perfpred/internal/engine"
 	"perfpred/internal/experiments"
+	"perfpred/internal/progress"
 	"perfpred/internal/space"
 	"perfpred/internal/trace"
 )
@@ -40,7 +43,20 @@ func main() {
 	epochs := flag.Float64("epochs", 1.0, "neural epoch scale")
 	traceLen := flag.Int("tracelen", 0, "trace length override (0 = per-benchmark recommendation)")
 	stride := flag.Int("stride", 0, "design-space stride (0 = full 4608 points)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+	verbose := flag.Bool("v", false, "log per-task progress (durations, folds, epochs)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var hook engine.Hook
+	if *verbose {
+		hook = progress.Hook(os.Stderr, false)
+	}
 
 	cfg := experiments.Config{
 		Seed:        *seed,
@@ -48,6 +64,7 @@ func main() {
 		EpochScale:  *epochs,
 		TraceLen:    *traceLen,
 		SpaceStride: *stride,
+		Hook:        hook,
 	}
 	fracs, err := parseFracs(*fracsArg)
 	if err != nil {
@@ -65,10 +82,10 @@ func main() {
 	}
 
 	run("table1", func() error { return printTable1() })
-	run("calibration", func() error { return runCalibration(cfg) })
-	run("figures2-6", func() error { _, err := runFigures(cfg, fracs, *bench, true); return err })
+	run("calibration", func() error { return runCalibration(ctx, cfg) })
+	run("figures2-6", func() error { _, err := runFigures(ctx, cfg, fracs, *bench, true); return err })
 	run("table3", func() error {
-		studies, err := runFigures(cfg, fracs, *bench, false)
+		studies, err := runFigures(ctx, cfg, fracs, *bench, false)
 		if err != nil {
 			return err
 		}
@@ -87,20 +104,20 @@ func main() {
 		return nil
 	})
 	run("figure7", func() error {
-		return runChrono(cfg, []string{"Xeon", "Pentium 4", "Pentium D"})
+		return runChrono(ctx, cfg, []string{"Xeon", "Pentium 4", "Pentium D"})
 	})
 	run("figure8", func() error {
-		return runChrono(cfg, []string{"Opteron", "Opteron 2", "Opteron 4", "Opteron 8"})
+		return runChrono(ctx, cfg, []string{"Opteron", "Opteron 2", "Opteron 4", "Opteron 8"})
 	})
 	run("table2", func() error {
-		t2, err := experiments.RunTable2(core.FigureModels(), cfg)
+		t2, err := experiments.RunTable2(ctx, core.FigureModels(), cfg)
 		if err != nil {
 			return err
 		}
 		return t2.WriteText(os.Stdout)
 	})
 	run("perapp", func() error {
-		s, err := experiments.RunPerAppChrono("Pentium D", core.FigureModels(), cfg)
+		s, err := experiments.RunPerAppChrono(ctx, "Pentium D", core.FigureModels(), cfg)
 		if err != nil {
 			return err
 		}
@@ -108,7 +125,7 @@ func main() {
 	})
 	run("rolling", func() error {
 		for _, fam := range []string{"Opteron 2", "Xeon"} {
-			s, err := experiments.RunRollingChrono(fam, core.FigureModels(), cfg)
+			s, err := experiments.RunRollingChrono(ctx, fam, core.FigureModels(), cfg)
 			if err != nil {
 				return err
 			}
@@ -120,7 +137,7 @@ func main() {
 		return nil
 	})
 	run("crossfamily", func() error {
-		r, err := experiments.RunCrossFamily("Xeon", "Opteron", core.LRE, cfg)
+		r, err := experiments.RunCrossFamily(ctx, "Xeon", "Opteron", core.LRE, cfg)
 		if err != nil {
 			return err
 		}
@@ -130,13 +147,13 @@ func main() {
 		return nil
 	})
 	run("ablations", func() error {
-		sel, err := experiments.RunSelectAblation("mcf", 0.02, core.SampledModels(), cfg)
+		sel, err := experiments.RunSelectAblation(ctx, "mcf", 0.02, core.SampledModels(), cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("Select criterion ablation (mcf @ 2%%): max-fold pick %v → %.2f%%, mean-fold pick %v → %.2f%%, oracle %.2f%%\n",
 			sel.MaxPick, sel.MaxTrue, sel.MeanPick, sel.MeanTrue, sel.BestTrue)
-		smp, err := experiments.RunSamplingAblation("gcc", 0.02, core.NNE, cfg)
+		smp, err := experiments.RunSamplingAblation(ctx, "gcc", 0.02, core.NNE, cfg)
 		if err != nil {
 			return err
 		}
@@ -145,7 +162,7 @@ func main() {
 		return nil
 	})
 	run("learning", func() error {
-		lc, err := experiments.RunLearningCurve("mcf", core.NNE,
+		lc, err := experiments.RunLearningCurve(ctx, "mcf", core.NNE,
 			[]float64{0.005, 0.01, 0.02, 0.04, 0.08}, cfg)
 		if err != nil {
 			return err
@@ -154,7 +171,7 @@ func main() {
 	})
 	run("importance", func() error {
 		for _, fam := range []string{"Opteron", "Pentium D"} {
-			rep, err := experiments.RunImportance(fam, cfg)
+			rep, err := experiments.RunImportance(ctx, fam, cfg)
 			if err != nil {
 				return err
 			}
@@ -198,29 +215,29 @@ func benchNames() []string {
 	return out
 }
 
-func runCalibration(cfg experiments.Config) error {
-	micro, err := experiments.RunMicroCalibration(cfg)
+func runCalibration(ctx context.Context, cfg experiments.Config) error {
+	micro, err := experiments.RunMicroCalibration(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	if err := experiments.WriteCalibration(os.Stdout, "Simulation statistics (§4.1)", micro); err != nil {
 		return err
 	}
-	specRows, err := experiments.RunSpecCalibration(cfg)
+	specRows, err := experiments.RunSpecCalibration(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	return experiments.WriteCalibration(os.Stdout, "SPEC family statistics (§4.1)", specRows)
 }
 
-func runFigures(cfg experiments.Config, fracs []float64, bench string, print bool) ([]*experiments.SampledStudy, error) {
+func runFigures(ctx context.Context, cfg experiments.Config, fracs []float64, bench string, print bool) ([]*experiments.SampledStudy, error) {
 	benches := []string{"applu", "equake", "gcc", "mesa", "mcf"}
 	if bench != "" {
 		benches = []string{bench}
 	}
 	var studies []*experiments.SampledStudy
 	for i, b := range benches {
-		s, err := experiments.RunSampledStudy(b, fracs, core.SampledModels(), cfg)
+		s, err := experiments.RunSampledStudy(ctx, b, fracs, core.SampledModels(), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -236,9 +253,9 @@ func runFigures(cfg experiments.Config, fracs []float64, bench string, print boo
 	return studies, nil
 }
 
-func runChrono(cfg experiments.Config, families []string) error {
+func runChrono(ctx context.Context, cfg experiments.Config, families []string) error {
 	for _, fam := range families {
-		s, err := experiments.RunChronoStudy(fam, core.FigureModels(), cfg)
+		s, err := experiments.RunChronoStudy(ctx, fam, core.FigureModels(), cfg)
 		if err != nil {
 			return err
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -60,11 +61,11 @@ func trainAndSave(bench, family, model string, frac float64, out string, seed in
 	var ds *perfpred.Dataset
 	switch {
 	case bench != "":
-		full, err := perfpred.SimulateDesignSpace(bench, perfpred.SimOptions{Seed: seed, Stride: stride})
+		full, err := perfpred.SimulateDesignSpace(context.Background(), bench, perfpred.SimOptions{Seed: seed, Stride: stride})
 		if err != nil {
 			return err
 		}
-		sampled, err := perfpred.RunSampledDSE(full, frac, []perfpred.ModelKind{kind}, perfpred.TrainConfig{Seed: seed})
+		sampled, err := perfpred.RunSampledDSE(context.Background(), full, frac, []perfpred.ModelKind{kind}, perfpred.TrainConfig{Seed: seed})
 		if err != nil {
 			return err
 		}
@@ -80,7 +81,7 @@ func trainAndSave(bench, family, model string, frac float64, out string, seed in
 		if ds, err = perfpred.SPECDataset(recs, 2005); err != nil {
 			return err
 		}
-		p, err := perfpred.Train(kind, ds, perfpred.TrainConfig{Seed: seed})
+		p, err := perfpred.Train(context.Background(), kind, ds, perfpred.TrainConfig{Seed: seed})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package perfpred_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,14 +12,14 @@ import (
 // a design space, train candidate models, and let cross-validated
 // estimates pick the surrogate.
 func ExampleRunSampledDSE() {
-	full, err := perfpred.SimulateDesignSpace("applu", perfpred.SimOptions{
+	full, err := perfpred.SimulateDesignSpace(context.Background(), "applu", perfpred.SimOptions{
 		TraceLen: 60_000, // tiny trace keeps the example fast
 		Stride:   48,     // systematic 96-point slice of the 4608-point space
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := perfpred.RunSampledDSE(full, 0.25, []perfpred.ModelKind{perfpred.LRB, perfpred.NNS},
+	res, err := perfpred.RunSampledDSE(context.Background(), full, 0.25, []perfpred.ModelKind{perfpred.LRB, perfpred.NNS},
 		perfpred.TrainConfig{Seed: 1, EpochScale: 0.25})
 	if err != nil {
 		log.Fatal(err)
@@ -43,7 +44,7 @@ func ExampleRunChronological() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := perfpred.RunChronological(train, future, []perfpred.ModelKind{perfpred.LRE},
+	res, err := perfpred.RunChronological(context.Background(), train, future, []perfpred.ModelKind{perfpred.LRE},
 		perfpred.TrainConfig{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
@@ -77,7 +78,7 @@ func ExampleTrain() {
 			}
 		}
 	}
-	p, err := perfpred.Train(perfpred.NNQ, ds, perfpred.TrainConfig{Seed: 1})
+	p, err := perfpred.Train(context.Background(), perfpred.NNQ, ds, perfpred.TrainConfig{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

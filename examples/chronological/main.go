@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,7 @@ func main() {
 	fmt.Printf("training: %d systems announced in 2005; predicting: %d systems of 2006\n\n",
 		train.Len(), future.Len())
 
-	res, err := perfpred.RunChronological(train, future, perfpred.FigureModels(), perfpred.TrainConfig{Seed: 1})
+	res, err := perfpred.RunChronological(context.Background(), train, future, perfpred.FigureModels(), perfpred.TrainConfig{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

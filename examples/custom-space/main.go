@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -78,7 +79,7 @@ func main() {
 		}
 	}
 
-	res, err := perfpred.RunSampledDSE(full, 0.08, []perfpred.ModelKind{
+	res, err := perfpred.RunSampledDSE(context.Background(), full, 0.08, []perfpred.ModelKind{
 		perfpred.LRB, perfpred.NNM, perfpred.NNE,
 	}, perfpred.TrainConfig{Seed: 3})
 	if err != nil {

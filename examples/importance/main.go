@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -32,7 +33,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	nn, err := perfpred.Train(perfpred.NNQ, train, perfpred.TrainConfig{Seed: 1})
+	nn, err := perfpred.Train(context.Background(), perfpred.NNQ, train, perfpred.TrainConfig{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lr, err := perfpred.Train(perfpred.LRE, train, perfpred.TrainConfig{Seed: 1})
+	lr, err := perfpred.Train(context.Background(), perfpred.LRE, train, perfpred.TrainConfig{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	// 1. Ground truth: simulate a slice of the design space (stride 11
 	// keeps the demo fast; drop Stride for the full 4608 points).
 	fmt.Println("simulating design space for mcf (this is the expensive step the models avoid)...")
-	full, err := perfpred.SimulateDesignSpace("mcf", perfpred.SimOptions{
+	full, err := perfpred.SimulateDesignSpace(context.Background(), "mcf", perfpred.SimOptions{
 		TraceLen: 300_000,
 		Stride:   11,
 	})
@@ -34,7 +35,7 @@ func main() {
 
 	// 2. Sampled design-space exploration: 5 % of the space is "built or
 	// simulated", the rest is predicted.
-	res, err := perfpred.RunSampledDSE(full, 0.05, perfpred.SampledModels(), perfpred.TrainConfig{Seed: 42})
+	res, err := perfpred.RunSampledDSE(context.Background(), full, 0.05, perfpred.SampledModels(), perfpred.TrainConfig{Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -23,7 +24,7 @@ func main() {
 	}
 
 	fmt.Printf("simulating the full 4608-point design space for %s...\n", bench)
-	full, err := perfpred.SimulateDesignSpace(bench, perfpred.SimOptions{})
+	full, err := perfpred.SimulateDesignSpace(context.Background(), bench, perfpred.SimOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func main() {
 	fmt.Printf("%10s\n", "Select")
 
 	for _, frac := range []float64{0.01, 0.02, 0.03, 0.04, 0.05} {
-		res, err := perfpred.RunSampledDSE(full, frac, perfpred.SampledModels(), perfpred.TrainConfig{Seed: 7})
+		res, err := perfpred.RunSampledDSE(context.Background(), full, frac, perfpred.SampledModels(), perfpred.TrainConfig{Seed: 7})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perfpred/internal/engine"
+)
+
+// Cancelling the context mid-run must abort the whole fold×kind task
+// graph promptly with context.Canceled and leave no worker goroutines
+// behind. The hook fires the cancel from inside the first task start, so
+// the run is guaranteed to be mid-flight when the plug is pulled.
+func TestRunSampledDSECancellation(t *testing.T) {
+	full := synthSpace(t, 400, 17)
+	kinds := []ModelKind{NNS, NNQ, LRE, LRB}
+
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Bool
+	cfg := TrainConfig{
+		Seed: 5, Workers: 4, EpochScale: 1.0,
+		Hook: func(e engine.Event) {
+			if e.Kind == engine.TaskStart && fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		},
+	}
+
+	start := time.Now()
+	_, err := RunSampledDSE(ctx, full, 0.2, kinds, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// "Prompt" is fuzzy; a full NN-S training on 80 samples is not. The
+	// epoch-level checks should abandon work orders of magnitude sooner.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want well under 5s", elapsed)
+	}
+
+	// Workers exit once they observe the cancellation; give the runtime a
+	// moment to reap them before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after cancellation", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A context cancelled before the run starts must fail fast without
+// training anything.
+func TestRunSampledDSEPreCancelled(t *testing.T) {
+	full := synthSpace(t, 400, 17)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var started atomic.Int32
+	cfg := TrainConfig{
+		Seed: 5, Workers: 2,
+		Hook: func(e engine.Event) {
+			if e.Kind == engine.TaskStart {
+				started.Add(1)
+			}
+		},
+	}
+	_, err := RunSampledDSE(ctx, full, 0.2, []ModelKind{NNS}, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n != 0 {
+		t.Fatalf("%d tasks started under a pre-cancelled context", n)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -97,14 +98,14 @@ func TestTrainAllKindsAndPredict(t *testing.T) {
 	train := synthSpace(t, 150, 1)
 	test := synthSpace(t, 150, 2)
 	for _, k := range AllModels() {
-		p, err := Train(k, train, quickCfg())
+		p, err := Train(context.Background(), k, train, quickCfg())
 		if err != nil {
 			t.Fatalf("%v: %v", k, err)
 		}
 		if p.Kind() != k {
 			t.Fatalf("%v: kind mismatch", k)
 		}
-		mape, std, err := p.Evaluate(test)
+		mape, std, err := p.Evaluate(context.Background(), test)
 		if err != nil {
 			t.Fatalf("%v: %v", k, err)
 		}
@@ -118,17 +119,17 @@ func TestTrainAllKindsAndPredict(t *testing.T) {
 }
 
 func TestTrainErrors(t *testing.T) {
-	if _, err := Train(LRE, nil, quickCfg()); err == nil {
+	if _, err := Train(context.Background(), LRE, nil, quickCfg()); err == nil {
 		t.Fatal("nil dataset: want error")
 	}
-	if _, err := Train(ModelKind(99), synthSpace(t, 20, 3), quickCfg()); err == nil {
+	if _, err := Train(context.Background(), ModelKind(99), synthSpace(t, 20, 3), quickCfg()); err == nil {
 		t.Fatal("unknown kind: want error")
 	}
 }
 
 func TestPredictSingleRecord(t *testing.T) {
 	train := synthSpace(t, 200, 4)
-	p, err := Train(NNQ, train, quickCfg())
+	p, err := Train(context.Background(), NNQ, train, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestPredictSingleRecord(t *testing.T) {
 	if math.Abs(got-want)/want > 0.5 {
 		t.Fatalf("prediction %v wildly off target %v", got, want)
 	}
-	batch, err := p.PredictDataset(train)
+	batch, err := p.PredictDataset(context.Background(), train)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestPredictSingleRecord(t *testing.T) {
 
 func TestEstimateError(t *testing.T) {
 	train := synthSpace(t, 120, 5)
-	est, err := EstimateError(LRB, train, quickCfg())
+	est, err := EstimateError(context.Background(), LRB, train, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +172,11 @@ func TestEstimateError(t *testing.T) {
 
 func TestEstimateErrorDeterministic(t *testing.T) {
 	train := synthSpace(t, 100, 6)
-	a, err := EstimateError(NNS, train, quickCfg())
+	a, err := EstimateError(context.Background(), NNS, train, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EstimateError(NNS, train, quickCfg())
+	b, err := EstimateError(context.Background(), NNS, train, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestEstimateErrorDeterministic(t *testing.T) {
 }
 
 func TestEstimateErrorTooSmall(t *testing.T) {
-	if _, err := EstimateError(LRE, synthSpace(t, 3, 7), quickCfg()); err == nil {
+	if _, err := EstimateError(context.Background(), LRE, synthSpace(t, 3, 7), quickCfg()); err == nil {
 		t.Fatal("tiny dataset: want error")
 	}
 }
@@ -195,7 +196,7 @@ func TestEstimateErrorTooSmall(t *testing.T) {
 func TestRunSampledDSE(t *testing.T) {
 	full := synthSpace(t, 1200, 8)
 	kinds := []ModelKind{LRB, NNQ, NNS}
-	res, err := RunSampledDSE(full, 0.05, kinds, quickCfg())
+	res, err := RunSampledDSE(context.Background(), full, 0.05, kinds, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestRunSampledDSE(t *testing.T) {
 
 func TestRunSampledDSENNBeatsLROnNonlinearSurface(t *testing.T) {
 	full := synthSpace(t, 1500, 9)
-	res, err := RunSampledDSE(full, 0.1, []ModelKind{LRB, NNM}, TrainConfig{Seed: 3, Workers: 4, EpochScale: 0.6})
+	res, err := RunSampledDSE(context.Background(), full, 0.1, []ModelKind{LRB, NNM}, TrainConfig{Seed: 3, Workers: 4, EpochScale: 0.6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,13 +254,13 @@ func TestRunSampledDSENNBeatsLROnNonlinearSurface(t *testing.T) {
 
 func TestRunSampledDSEErrors(t *testing.T) {
 	full := synthSpace(t, 100, 10)
-	if _, err := RunSampledDSE(nil, 0.1, []ModelKind{LRE}, quickCfg()); err == nil {
+	if _, err := RunSampledDSE(context.Background(), nil, 0.1, []ModelKind{LRE}, quickCfg()); err == nil {
 		t.Fatal("nil space: want error")
 	}
-	if _, err := RunSampledDSE(full, 0.1, nil, quickCfg()); err == nil {
+	if _, err := RunSampledDSE(context.Background(), full, 0.1, nil, quickCfg()); err == nil {
 		t.Fatal("no kinds: want error")
 	}
-	if _, err := RunSampledDSE(full, 0, []ModelKind{LRE}, quickCfg()); err == nil {
+	if _, err := RunSampledDSE(context.Background(), full, 0, []ModelKind{LRE}, quickCfg()); err == nil {
 		t.Fatal("zero fraction: want error")
 	}
 }
@@ -268,7 +269,7 @@ func TestRunChronological(t *testing.T) {
 	train := synthSpace(t, 200, 11)
 	future := synthSpace(t, 200, 12)
 	kinds := []ModelKind{LRE, LRB, NNS}
-	res, err := RunChronological(train, future, kinds, quickCfg())
+	res, err := RunChronological(context.Background(), train, future, kinds, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,13 +292,13 @@ func TestRunChronological(t *testing.T) {
 
 func TestRunChronologicalErrors(t *testing.T) {
 	train := synthSpace(t, 100, 13)
-	if _, err := RunChronological(train, nil, []ModelKind{LRE}, quickCfg()); err == nil {
+	if _, err := RunChronological(context.Background(), train, nil, []ModelKind{LRE}, quickCfg()); err == nil {
 		t.Fatal("nil future: want error")
 	}
-	if _, err := RunChronological(nil, train, []ModelKind{LRE}, quickCfg()); err == nil {
+	if _, err := RunChronological(context.Background(), nil, train, []ModelKind{LRE}, quickCfg()); err == nil {
 		t.Fatal("nil train: want error")
 	}
-	if _, err := RunChronological(train, train, nil, quickCfg()); err == nil {
+	if _, err := RunChronological(context.Background(), train, train, nil, quickCfg()); err == nil {
 		t.Fatal("no kinds: want error")
 	}
 }
@@ -306,7 +307,7 @@ func TestImportancesLRAndNN(t *testing.T) {
 	// Target dominated by width; size secondary.
 	train := synthSpace(t, 400, 14)
 	for _, k := range []ModelKind{LRE, NNQ} {
-		p, err := Train(k, train, TrainConfig{Seed: 5, Workers: 4, EpochScale: 0.6})
+		p, err := Train(context.Background(), k, train, TrainConfig{Seed: 5, Workers: 4, EpochScale: 0.6})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -329,7 +330,7 @@ func TestImportancesLRAndNN(t *testing.T) {
 }
 
 func TestImportancesErrors(t *testing.T) {
-	p, err := Train(LRE, synthSpace(t, 50, 15), quickCfg())
+	p, err := Train(context.Background(), LRE, synthSpace(t, 50, 15), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ func TestImportancesErrors(t *testing.T) {
 
 func TestSelectedPredictors(t *testing.T) {
 	train := synthSpace(t, 200, 16)
-	lr, err := Train(LRB, train, quickCfg())
+	lr, err := Train(context.Background(), LRB, train, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestSelectedPredictors(t *testing.T) {
 	if len(sel) == 0 {
 		t.Fatal("backward LR kept nothing on a real relationship")
 	}
-	nn, err := Train(NNS, train, quickCfg())
+	nn, err := Train(context.Background(), NNS, train, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,11 +359,11 @@ func TestSelectedPredictors(t *testing.T) {
 }
 
 func TestEvaluateEmptyDataset(t *testing.T) {
-	p, err := Train(LRE, synthSpace(t, 50, 17), quickCfg())
+	p, err := Train(context.Background(), LRE, synthSpace(t, 50, 17), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.Evaluate(nil); err == nil {
+	if _, _, err := p.Evaluate(context.Background(), nil); err == nil {
 		t.Fatal("nil eval set: want error")
 	}
 }
@@ -373,7 +374,7 @@ func TestWorkflowDeterministicAcrossWorkers(t *testing.T) {
 	full := synthSpace(t, 600, 31)
 	kinds := []ModelKind{LRB, NNS, NNQ}
 	run := func(workers int) *SampledDSEResult {
-		res, err := RunSampledDSE(full, 0.1, kinds, TrainConfig{Seed: 5, Workers: workers, EpochScale: 0.25})
+		res, err := RunSampledDSE(context.Background(), full, 0.1, kinds, TrainConfig{Seed: 5, Workers: workers, EpochScale: 0.25})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -395,7 +396,7 @@ func TestWorkflowDeterministicAcrossWorkers(t *testing.T) {
 
 func TestPredictorEncoderAccessor(t *testing.T) {
 	train := synthSpace(t, 60, 32)
-	p, err := Train(LRE, train, quickCfg())
+	p, err := Train(context.Background(), LRE, train, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
-	"sync"
+	"fmt"
 
 	"perfpred/internal/dataset"
+	"perfpred/internal/engine"
 	"perfpred/internal/stat"
 )
 
@@ -24,56 +26,47 @@ type ErrorEstimate struct {
 // sets of 50% of the training data" (§3.3).
 const estimateFolds = 5
 
-// EstimateError estimates a model kind's predictive error on the training
-// data by the paper's procedure: five times, split the training data into
-// random halves, train on one half and measure MAPE on the other. Folds
-// run in parallel; the result is deterministic for a given seed.
-func EstimateError(kind ModelKind, train *dataset.Dataset, cfg TrainConfig) (ErrorEstimate, error) {
-	if train == nil || train.Len() < 4 {
-		return ErrorEstimate{}, errors.New("core: need at least 4 records to estimate error")
-	}
-	perFold := make([]float64, estimateFolds)
-	errs := make([]error, estimateFolds)
-	var wg sync.WaitGroup
-	workers := cfg.workers()
-	if workers > estimateFolds {
-		workers = estimateFolds
-	}
-	sem := make(chan struct{}, workers)
-	for fold := 0; fold < estimateFolds; fold++ {
-		wg.Add(1)
-		go func(fold int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+// estimateFoldTask builds the engine task computing one cross-validation
+// fold of kind's error estimate, writing the fold's MAPE into out[fold].
+//
+// Seed-derivation contract (frozen so scheduling changes can never perturb
+// the paper's reproduced numbers): the fold's split RNG is seeded with
+// DeriveSeed(cfg.Seed, 7000+fold) and the fold's training seed with
+// DeriveSeed(foldSeed, 1). Fold tasks always train with Workers=1 — the
+// pool that schedules them owns the global worker budget.
+func estimateFoldTask(kind ModelKind, train *dataset.Dataset, cfg TrainConfig, fold int, out []float64) engine.Task {
+	return engine.Task{
+		Label: fmt.Sprintf("estimate %v fold %d", kind, fold),
+		Model: kind.String(),
+		Fold:  fold,
+		Run: func(ctx context.Context) error {
+			if train == nil || train.Len() < 4 {
+				return errors.New("core: need at least 4 records to estimate error")
+			}
 			foldSeed := stat.DeriveSeed(cfg.Seed, 7000+fold)
 			half, rest, err := train.SplitHalf(stat.NewRand(foldSeed))
 			if err != nil {
-				errs[fold] = err
-				return
+				return err
 			}
 			foldCfg := cfg
 			foldCfg.Seed = stat.DeriveSeed(foldSeed, 1)
-			foldCfg.Workers = 1 // parallelism lives at the fold level here
-			p, err := Train(kind, half, foldCfg)
+			foldCfg.Workers = 1 // parallelism lives at the fold level
+			p, err := Train(ctx, kind, half, foldCfg)
 			if err != nil {
-				errs[fold] = err
-				return
+				return err
 			}
-			mape, _, err := p.Evaluate(rest)
+			mape, _, err := p.Evaluate(ctx, rest)
 			if err != nil {
-				errs[fold] = err
-				return
+				return err
 			}
-			perFold[fold] = mape
-		}(fold)
+			out[fold] = mape
+			return nil
+		},
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return ErrorEstimate{}, err
-		}
-	}
+}
+
+// foldEstimate aggregates per-fold MAPEs into an ErrorEstimate.
+func foldEstimate(perFold []float64) (ErrorEstimate, error) {
 	est := ErrorEstimate{PerFold: perFold}
 	est.Mean = stat.Mean(perFold)
 	mx, err := stat.Max(perFold)
@@ -82,4 +75,24 @@ func EstimateError(kind ModelKind, train *dataset.Dataset, cfg TrainConfig) (Err
 	}
 	est.Max = mx
 	return est, nil
+}
+
+// EstimateError estimates a model kind's predictive error on the training
+// data by the paper's procedure: five times, split the training data into
+// random halves, train on one half and measure MAPE on the other. Folds
+// run in parallel on the engine pool; the result is deterministic for a
+// given seed regardless of worker count.
+func EstimateError(ctx context.Context, kind ModelKind, train *dataset.Dataset, cfg TrainConfig) (ErrorEstimate, error) {
+	if train == nil || train.Len() < 4 {
+		return ErrorEstimate{}, errors.New("core: need at least 4 records to estimate error")
+	}
+	perFold := make([]float64, estimateFolds)
+	tasks := make([]engine.Task, estimateFolds)
+	for fold := 0; fold < estimateFolds; fold++ {
+		tasks[fold] = estimateFoldTask(kind, train, cfg, fold, perFold)
+	}
+	if err := engine.Run(ctx, cfg.pool(), tasks...); err != nil {
+		return ErrorEstimate{}, err
+	}
+	return foldEstimate(perFold)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -16,7 +17,7 @@ func FuzzUnmarshalPredictor(f *testing.F) {
 		f.Fatal(err)
 	}
 	for _, kind := range []ModelKind{LRE, NNS} {
-		p, err := Train(kind, train, TrainConfig{Seed: 1, EpochScale: 0.2, Workers: 1})
+		p, err := Train(context.Background(), kind, train, TrainConfig{Seed: 1, EpochScale: 0.2, Workers: 1})
 		if err != nil {
 			f.Fatal(err)
 		}

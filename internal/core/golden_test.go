@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// The values below were captured from the pre-engine implementation
+// (hand-rolled wait-group orchestration, one goroutine per kind, serial
+// folds). The refactored engine must reproduce them
+// bit-for-bit regardless of worker count: every task derives its
+// randomness from seeds carried in its closure — kind seed
+// DeriveSeed(cfg.Seed, 100+kind), fold split seed DeriveSeed(kindSeed,
+// 7000+fold), fold train seed DeriveSeed(foldSeed, 1) — and writes to an
+// index-addressed slot, so scheduling order cannot leak into the numbers.
+
+type goldenReport struct {
+	kind     ModelKind
+	estMean  float64
+	estMax   float64
+	trueMAPE float64
+	stdAPE   float64
+}
+
+func checkGoldenReports(t *testing.T, label string, got []ModelReport, want []goldenReport) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d reports, want %d", label, len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Kind != w.kind {
+			t.Errorf("%s[%d]: kind %v, want %v", label, i, g.Kind, w.kind)
+		}
+		if g.Estimate.Mean != w.estMean {
+			t.Errorf("%s %v: Estimate.Mean = %.17g, want %.17g", label, w.kind, g.Estimate.Mean, w.estMean)
+		}
+		if g.Estimate.Max != w.estMax {
+			t.Errorf("%s %v: Estimate.Max = %.17g, want %.17g", label, w.kind, g.Estimate.Max, w.estMax)
+		}
+		if g.TrueMAPE != w.trueMAPE {
+			t.Errorf("%s %v: TrueMAPE = %.17g, want %.17g", label, w.kind, g.TrueMAPE, w.trueMAPE)
+		}
+		if g.StdAPE != w.stdAPE {
+			t.Errorf("%s %v: StdAPE = %.17g, want %.17g", label, w.kind, g.StdAPE, w.stdAPE)
+		}
+	}
+}
+
+func TestGoldenSampledDSE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run trains four models")
+	}
+	full := synthSpace(t, 900, 77)
+	kinds := []ModelKind{LRE, LRB, NNQ, NNS}
+	// Identical numbers must come out at any worker count: run the same
+	// configuration serially and wide.
+	for _, workers := range []int{1, 4} {
+		cfg := TrainConfig{Seed: 123, Workers: workers, EpochScale: 0.25}
+		res, err := RunSampledDSE(context.Background(), full, 0.1, kinds, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Selected != NNQ {
+			t.Errorf("workers=%d: Selected = %v, want NN-Q", workers, res.Selected)
+		}
+		if res.SelectedTrueMAPE != 8.3735666472565757 {
+			t.Errorf("workers=%d: SelectedTrueMAPE = %.17g, want 8.3735666472565757", workers, res.SelectedTrueMAPE)
+		}
+		if res.SampleSize != 90 {
+			t.Errorf("workers=%d: SampleSize = %d, want 90", workers, res.SampleSize)
+		}
+		checkGoldenReports(t, "DSE", res.Reports, []goldenReport{
+			{LRE, 21.326067637569007, 25.951575145524398, 20.320664042317809, 14.036370267339688},
+			{LRB, 21.12624573029419, 22.709201480100987, 20.320664042317809, 14.036370267339688},
+			{NNQ, 7.2978788838488686, 8.7211678330933005, 8.3735666472565757, 9.0007609385568763},
+			{NNS, 12.01027109966383, 14.206923570667181, 8.1805517787765663, 7.86659291529313},
+		})
+	}
+}
+
+func TestGoldenChronological(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run trains four models")
+	}
+	train := synthSpace(t, 260, 88)
+	future := synthSpace(t, 260, 99)
+	kinds := []ModelKind{LRE, LRB, NNQ, NNS}
+	for _, workers := range []int{1, 4} {
+		cfg := TrainConfig{Seed: 123, Workers: workers, EpochScale: 0.25}
+		res, err := RunChronological(context.Background(), train, future, kinds, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Best != NNQ || res.Selected != NNQ {
+			t.Errorf("workers=%d: Best = %v, Selected = %v, want NN-Q for both", workers, res.Best, res.Selected)
+		}
+		if res.BestTrueMAPE != 4.0626539179119199 {
+			t.Errorf("workers=%d: BestTrueMAPE = %.17g, want 4.0626539179119199", workers, res.BestTrueMAPE)
+		}
+		if res.SelectedTrueMAPE != 4.0626539179119199 {
+			t.Errorf("workers=%d: SelectedTrueMAPE = %.17g, want 4.0626539179119199", workers, res.SelectedTrueMAPE)
+		}
+		checkGoldenReports(t, "CHRONO", res.Reports, []goldenReport{
+			{LRE, 19.454560260567753, 20.72432157119119, 17.948468038794253, 11.716627167445065},
+			{LRB, 19.600185103180355, 20.272488734711573, 17.948468038794253, 11.716627167445065},
+			{NNQ, 6.6865612437186615, 8.4981125450110273, 4.0626539179119199, 4.1203818737434803},
+			{NNS, 8.4897338730601426, 9.9878658591393652, 6.3809257749156041, 6.1733468834406491},
+		})
+	}
+}

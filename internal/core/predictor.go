@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 
 	"perfpred/internal/dataset"
+	"perfpred/internal/engine"
 	"perfpred/internal/linreg"
 	"perfpred/internal/neural"
 	"perfpred/internal/stat"
@@ -20,6 +22,11 @@ type TrainConfig struct {
 	// EpochScale scales neural-network epoch budgets (0 = 1.0); tests use
 	// small values for speed.
 	EpochScale float64
+	// Hook, if non-nil, observes execution events (task start/finish,
+	// durations, fold indices, neural epoch progress). Hooks must be safe
+	// for concurrent use; they are observability-only and never affect
+	// results.
+	Hook engine.Hook
 }
 
 func (c TrainConfig) workers() int {
@@ -27,6 +34,11 @@ func (c TrainConfig) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// pool returns the engine options for fan-outs driven by this config.
+func (c TrainConfig) pool() engine.Options {
+	return engine.Options{Workers: c.workers(), Hook: c.Hook}
 }
 
 // Predictor is one trained model bound to the encoder that prepared its
@@ -39,8 +51,12 @@ type Predictor struct {
 }
 
 // Train fits a model of the given kind on the training dataset, handling
-// the model family's data preparation (§3.4) internally.
-func Train(kind ModelKind, train *dataset.Dataset, cfg TrainConfig) (*Predictor, error) {
+// the model family's data preparation (§3.4) internally. Cancellation of
+// ctx aborts neural epoch loops promptly.
+func Train(ctx context.Context, kind ModelKind, train *dataset.Dataset, cfg TrainConfig) (*Predictor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if train == nil || train.Len() == 0 {
 		return nil, errors.New("core: empty training dataset")
 	}
@@ -71,11 +87,12 @@ func Train(kind ModelKind, train *dataset.Dataset, cfg TrainConfig) (*Predictor,
 	if err != nil {
 		return nil, err
 	}
-	model, err := neural.Train(x, y, neural.Config{
+	model, err := neural.Train(ctx, x, y, neural.Config{
 		Method:     m,
 		Seed:       cfg.Seed,
 		Workers:    cfg.workers(),
 		EpochScale: cfg.EpochScale,
+		Hook:       cfg.Hook,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: training %v: %w", kind, err)
@@ -101,15 +118,46 @@ func (p *Predictor) Predict(row []dataset.Value) (float64, error) {
 	return p.enc.UnscaleTarget(p.nn.Predict(x)), nil
 }
 
-// PredictDataset scores every record of a dataset.
-func (p *Predictor) PredictDataset(d *dataset.Dataset) ([]float64, error) {
+// predictChunk is the batch size of one parallel prediction task, and
+// predictParallelMin the dataset size below which PredictDataset stays
+// sequential (small fold evaluations inside an already-saturated task
+// graph gain nothing from nested fan-out).
+const (
+	predictChunk       = 256
+	predictParallelMin = 2 * predictChunk
+)
+
+// PredictDataset scores every record of a dataset. Large datasets (the
+// whole-space predictions of Figure 1a) are scored as a chunked parallel
+// map on the engine pool; output order always matches record order and is
+// independent of scheduling.
+func (p *Predictor) PredictDataset(ctx context.Context, d *dataset.Dataset) ([]float64, error) {
+	if d == nil {
+		return nil, errors.New("core: nil dataset")
+	}
 	out := make([]float64, d.Len())
-	for i := 0; i < d.Len(); i++ {
-		y, err := p.Predict(d.Row(i))
-		if err != nil {
+	score := func(ctx context.Context, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			y, err := p.Predict(d.Row(i))
+			if err != nil {
+				return err
+			}
+			out[i] = y
+		}
+		return nil
+	}
+	if d.Len() < predictParallelMin {
+		if err := score(ctx, 0, d.Len()); err != nil {
 			return nil, err
 		}
-		out[i] = y
+		return out, nil
+	}
+	err := engine.Map(ctx, engine.Options{}, d.Len(), predictChunk, "predict "+p.kind.String(), score)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -117,11 +165,11 @@ func (p *Predictor) PredictDataset(d *dataset.Dataset) ([]float64, error) {
 // Evaluate returns the mean and standard deviation of the absolute
 // percentage errors of the predictor on a dataset — the paper's error
 // metric (mean) and its Figure 7/8 error bars (standard deviation).
-func (p *Predictor) Evaluate(d *dataset.Dataset) (meanAPE, stdAPE float64, err error) {
+func (p *Predictor) Evaluate(ctx context.Context, d *dataset.Dataset) (meanAPE, stdAPE float64, err error) {
 	if d == nil || d.Len() == 0 {
 		return 0, 0, errors.New("core: empty evaluation dataset")
 	}
-	yhat, err := p.PredictDataset(d)
+	yhat, err := p.PredictDataset(ctx, d)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,0 +1,46 @@
+package core
+
+import "testing"
+
+// The Select rule ranks by the Max fold-error criterion alone; mean
+// estimates, true errors, and everything else are tie-break-irrelevant.
+func TestSelectByEstimateLowestMax(t *testing.T) {
+	reports := []ModelReport{
+		{Kind: LRE, Estimate: ErrorEstimate{Mean: 1, Max: 9}},
+		{Kind: NNQ, Estimate: ErrorEstimate{Mean: 8, Max: 3}},
+		{Kind: NNS, Estimate: ErrorEstimate{Mean: 2, Max: 5}},
+	}
+	sel, err := selectByEstimate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Kind != NNQ {
+		t.Fatalf("selected %v, want NN-Q (lowest Estimate.Max)", sel.Kind)
+	}
+}
+
+// Ties on Estimate.Max break toward the earliest model in request order,
+// so selection is deterministic for a fixed kinds slice.
+func TestSelectByEstimateTieBreaksToRequestOrder(t *testing.T) {
+	reports := []ModelReport{
+		{Kind: LRB, Estimate: ErrorEstimate{Mean: 7, Max: 4}},
+		{Kind: NNQ, Estimate: ErrorEstimate{Mean: 1, Max: 4}},
+		{Kind: NNS, Estimate: ErrorEstimate{Mean: 9, Max: 4}},
+	}
+	sel, err := selectByEstimate(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Kind != LRB {
+		t.Fatalf("selected %v, want LR-B (first of the tied models)", sel.Kind)
+	}
+	if sel != &reports[0] {
+		t.Fatal("selection should alias the winning report, not a copy")
+	}
+}
+
+func TestSelectByEstimateEmpty(t *testing.T) {
+	if _, err := selectByEstimate(nil); err == nil {
+		t.Fatal("want error for empty report slice")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"bytes"
 	"encoding/json"
 	"testing"
@@ -10,7 +11,7 @@ func TestPredictorSaveLoadRoundTrip(t *testing.T) {
 	train := synthSpace(t, 150, 21)
 	probeRows := synthSpace(t, 20, 22)
 	for _, kind := range []ModelKind{LRE, LRB, NNQ, NNS} {
-		p, err := Train(kind, train, quickCfg())
+		p, err := Train(context.Background(), kind, train, quickCfg())
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -55,7 +56,7 @@ func TestPredictorLoadRejectsGarbage(t *testing.T) {
 
 func TestPredictorLoadRejectsPayloadMismatch(t *testing.T) {
 	train := synthSpace(t, 80, 23)
-	p, err := Train(LRE, train, quickCfg())
+	p, err := Train(context.Background(), LRE, train, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestPredictorLoadRejectsPayloadMismatch(t *testing.T) {
 
 func TestLoadedPredictorImportancesWork(t *testing.T) {
 	train := synthSpace(t, 200, 24)
-	p, err := Train(NNQ, train, quickCfg())
+	p, err := Train(context.Background(), NNQ, train, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"perfpred/internal/dataset"
+	"perfpred/internal/engine"
 	"perfpred/internal/stat"
 )
 
@@ -49,8 +50,10 @@ type SampledDSEResult struct {
 // randomly sample the given fraction of the full space, train every
 // requested model on the sample, estimate each model's error by
 // cross-validation, measure each model's true error against the whole
-// space, and apply the Select rule. Model trainings run in parallel.
-func RunSampledDSE(full *dataset.Dataset, fraction float64, kinds []ModelKind, cfg TrainConfig) (*SampledDSEResult, error) {
+// space, and apply the Select rule. All per-kind and per-fold work runs as
+// one flat task graph on the engine pool; cancelling ctx aborts the run
+// promptly with ctx's error.
+func RunSampledDSE(ctx context.Context, full *dataset.Dataset, fraction float64, kinds []ModelKind, cfg TrainConfig) (*SampledDSEResult, error) {
 	if full == nil || full.Len() < 8 {
 		return nil, errors.New("core: full design-space dataset too small")
 	}
@@ -61,7 +64,7 @@ func RunSampledDSE(full *dataset.Dataset, fraction float64, kinds []ModelKind, c
 	if err != nil {
 		return nil, err
 	}
-	reports, err := evaluateKinds(kinds, sample, full, cfg, true)
+	reports, err := evaluateKinds(ctx, kinds, sample, full, cfg, true)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +102,7 @@ type ChronoResult struct {
 // RunChronological trains every requested model on the training-year
 // dataset, estimates errors by cross-validation on that year, and measures
 // true errors against the future-year dataset.
-func RunChronological(train, future *dataset.Dataset, kinds []ModelKind, cfg TrainConfig) (*ChronoResult, error) {
+func RunChronological(ctx context.Context, train, future *dataset.Dataset, kinds []ModelKind, cfg TrainConfig) (*ChronoResult, error) {
 	if train == nil || train.Len() < 8 {
 		return nil, errors.New("core: training-year dataset too small")
 	}
@@ -109,7 +112,7 @@ func RunChronological(train, future *dataset.Dataset, kinds []ModelKind, cfg Tra
 	if len(kinds) == 0 {
 		return nil, errors.New("core: no model kinds requested")
 	}
-	reports, err := evaluateKinds(kinds, train, future, cfg, true)
+	reports, err := evaluateKinds(ctx, kinds, train, future, cfg, true)
 	if err != nil {
 		return nil, err
 	}
@@ -131,61 +134,83 @@ func RunChronological(train, future *dataset.Dataset, kinds []ModelKind, cfg Tra
 	return res, nil
 }
 
-// evaluateKinds trains and scores every kind (in parallel across kinds)
-// against the evaluation dataset, optionally with cross-validated
-// estimates.
-func evaluateKinds(kinds []ModelKind, train, eval *dataset.Dataset, cfg TrainConfig, withEstimates bool) ([]ModelReport, error) {
+// evaluateKinds trains and scores every kind against the evaluation
+// dataset, optionally with cross-validated estimates. The work is one flat
+// task graph — kinds × (folds + final train/evaluate) — scheduled together
+// on the engine pool, so a slow fold of one kind never serializes behind
+// the other kinds' work and the pool owns the whole worker budget (inner
+// trainings run with Workers=1).
+//
+// Seed-derivation contract: kind k trains with seed DeriveSeed(cfg.Seed,
+// 100+int(k)); its estimate folds derive from that kind seed as documented
+// on estimateFoldTask. Every task draws randomness only from those seeds,
+// so results are bit-identical for any worker count or schedule.
+func evaluateKinds(ctx context.Context, kinds []ModelKind, train, eval *dataset.Dataset, cfg TrainConfig, withEstimates bool) ([]ModelReport, error) {
 	reports := make([]ModelReport, len(kinds))
-	errs := make([]error, len(kinds))
-	var wg sync.WaitGroup
-	workers := cfg.workers()
-	if workers > len(kinds) {
-		workers = len(kinds)
+	perFold := make([][]float64, len(kinds))
+	tasksPerKind := 1
+	if withEstimates {
+		tasksPerKind += estimateFolds
 	}
-	sem := make(chan struct{}, workers)
+	tasks := make([]engine.Task, 0, len(kinds)*tasksPerKind)
 	for i, kind := range kinds {
-		wg.Add(1)
-		go func(i int, kind ModelKind) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			kindCfg := cfg
-			kindCfg.Seed = stat.DeriveSeed(cfg.Seed, 100+int(kind))
-			kindCfg.Workers = 1
-			rep := ModelReport{Kind: kind}
-			if withEstimates {
-				est, err := EstimateError(kind, train, kindCfg)
-				if err != nil {
-					errs[i] = fmt.Errorf("estimating %v: %w", kind, err)
-					return
+		i, kind := i, kind
+		kindCfg := cfg
+		kindCfg.Seed = stat.DeriveSeed(cfg.Seed, 100+int(kind))
+		kindCfg.Workers = 1 // the flat graph saturates the pool by itself
+		reports[i].Kind = kind
+		if withEstimates {
+			perFold[i] = make([]float64, estimateFolds)
+			for fold := 0; fold < estimateFolds; fold++ {
+				task := estimateFoldTask(kind, train, kindCfg, fold, perFold[i])
+				run := task.Run
+				task.Run = func(ctx context.Context) error {
+					if err := run(ctx); err != nil {
+						return fmt.Errorf("estimating %v: %w", kind, err)
+					}
+					return nil
 				}
-				rep.Estimate = est
+				tasks = append(tasks, task)
 			}
-			p, err := Train(kind, train, kindCfg)
-			if err != nil {
-				errs[i] = fmt.Errorf("training %v: %w", kind, err)
-				return
-			}
-			rep.Predictor = p
-			rep.TrueMAPE, rep.StdAPE, err = p.Evaluate(eval)
-			if err != nil {
-				errs[i] = fmt.Errorf("evaluating %v: %w", kind, err)
-				return
-			}
-			reports[i] = rep
-		}(i, kind)
+		}
+		tasks = append(tasks, engine.Task{
+			Label: fmt.Sprintf("train %v", kind),
+			Model: kind.String(),
+			Fold:  -1,
+			Run: func(ctx context.Context) error {
+				p, err := Train(ctx, kind, train, kindCfg)
+				if err != nil {
+					return fmt.Errorf("training %v: %w", kind, err)
+				}
+				reports[i].Predictor = p
+				reports[i].TrueMAPE, reports[i].StdAPE, err = p.Evaluate(ctx, eval)
+				if err != nil {
+					return fmt.Errorf("evaluating %v: %w", kind, err)
+				}
+				return nil
+			},
+		})
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	if err := engine.Run(ctx, cfg.pool(), tasks...); err != nil {
+		return nil, err
+	}
+	if withEstimates {
+		for i := range reports {
+			est, err := foldEstimate(perFold[i])
+			if err != nil {
+				return nil, fmt.Errorf("estimating %v: %w", kinds[i], err)
+			}
+			reports[i].Estimate = est
 		}
 	}
 	return reports, nil
 }
 
 // selectByEstimate applies the paper's Select rule: choose the model whose
-// estimated error (the Max criterion) is lowest.
+// estimated error (the Max criterion) is lowest. Ties break toward the
+// earliest model in request order, so selection is deterministic for a
+// fixed kinds slice; callers who care should therefore pass kinds in a
+// stable order (the paper's figure order, say).
 func selectByEstimate(reports []ModelReport) (*ModelReport, error) {
 	if len(reports) == 0 {
 		return nil, errors.New("core: no reports to select from")

@@ -1,0 +1,255 @@
+// Package engine is the repository's single concurrency idiom: a bounded,
+// context-aware worker pool with first-error cancellation, panic recovery,
+// and structured instrumentation hooks.
+//
+// Every fan-out in the code base — per-kind model training, the five
+// cross-validation folds of an error estimate, whole-space prediction,
+// design-space simulation sweeps, and neural topology searches — is
+// expressed as a flat slice of [Task] values executed by [Run] (or the
+// chunked convenience wrapper [Map]). Callers therefore get uniform
+// semantics everywhere:
+//
+//   - Bounded concurrency: at most Options.Workers tasks run at once.
+//   - Cancellation: the first task error (or the caller's context being
+//     cancelled) stops the scheduling of further tasks promptly; queued
+//     tasks are abandoned, running tasks observe ctx.Done().
+//   - Panic safety: a panicking task is converted into a *PanicError
+//     carrying the recovered value and stack, and cancels the run like any
+//     other error.
+//   - Determinism: tasks must derive all randomness from seeds carried in
+//     their closures (see perfpred's stat.DeriveSeed contract), never from
+//     scheduling order, so results are identical for any worker count.
+//   - Observability: an optional [Hook] receives a structured [Event] at
+//     every task start, finish and failure (and, from cooperating task
+//     bodies, epoch-granularity progress), enabling -v style progress
+//     reporters and future metrics exporters without touching task code.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// EventKind classifies a pool event.
+type EventKind int
+
+const (
+	// TaskStart fires when a task begins executing (not when queued).
+	TaskStart EventKind = iota
+	// TaskDone fires when a task returns nil.
+	TaskDone
+	// TaskFailed fires when a task returns an error or panics.
+	TaskFailed
+	// EpochProgress is emitted by cooperating long-running task bodies
+	// (e.g. neural-network training) to report inner-loop progress.
+	EpochProgress
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case TaskStart:
+		return "start"
+	case TaskDone:
+		return "done"
+	case TaskFailed:
+		return "failed"
+	case EpochProgress:
+		return "epoch"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one structured observation from the pool or a task body.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Label identifies the task (e.g. "estimate NN-E fold 3").
+	Label string
+	// Model is the model kind's label when the task is model-scoped
+	// (empty otherwise).
+	Model string
+	// Fold is the cross-validation fold index, or -1 when the task is not
+	// fold-scoped.
+	Fold int
+	// Epoch and Epochs report inner-loop progress for EpochProgress events.
+	Epoch, Epochs int
+	// Err is the failure for TaskFailed events.
+	Err error
+	// Elapsed is the task's wall-clock duration for TaskDone/TaskFailed.
+	Elapsed time.Duration
+}
+
+// Hook observes pool events. Hooks may be called concurrently from many
+// workers and must be safe for concurrent use. A nil Hook is valid and
+// observes nothing.
+type Hook func(Event)
+
+// Emit delivers the event if the hook is non-nil. Safe on nil hooks.
+func (h Hook) Emit(e Event) {
+	if h != nil {
+		h(e)
+	}
+}
+
+// Task is one unit of work for the pool.
+type Task struct {
+	// Label names the task for instrumentation.
+	Label string
+	// Model optionally carries the model kind's label.
+	Model string
+	// Fold is the cross-validation fold index, or -1 when not applicable.
+	Fold int
+	// Run does the work. It must honor ctx cancellation in long loops and
+	// must confine all writes to memory owned by the task (index-addressed
+	// slots are the usual pattern).
+	Run func(ctx context.Context) error
+}
+
+// PanicError wraps a panic recovered from a task.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error describes the panic.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("engine: task panicked: %v", p.Value)
+}
+
+// Options configures one Run or Map call.
+type Options struct {
+	// Workers bounds concurrent tasks (0 = GOMAXPROCS).
+	Workers int
+	// Hook, if non-nil, observes task lifecycle events.
+	Hook Hook
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the tasks on a bounded worker pool and waits for completion.
+//
+// The first task failure cancels the run's context: queued tasks are
+// abandoned and running tasks can observe the cancellation. Panics are
+// recovered into *PanicError values and cancel the run like errors. When
+// the parent context is cancelled, Run returns the parent's error.
+// Otherwise Run returns the first genuine task error in submission order
+// (deterministic when only one task fails, which covers every sequential
+// baseline this refactor replaced), falling back to the chronologically
+// first failure recorded as the cancellation cause.
+func Run(ctx context.Context, opts Options, tasks ...Task) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	workers := opts.workers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	queue := make(chan int, len(tasks))
+	for i := range tasks {
+		queue <- i
+	}
+	close(queue)
+
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if err := context.Cause(runCtx); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = execute(runCtx, opts.Hook, &tasks[i])
+				if errs[i] != nil {
+					cancel(errs[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return cause
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execute runs one task with panic recovery and lifecycle events.
+func execute(ctx context.Context, hook Hook, t *Task) (err error) {
+	start := time.Now()
+	hook.Emit(Event{Kind: TaskStart, Label: t.Label, Model: t.Model, Fold: t.Fold})
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+		e := Event{Kind: TaskDone, Label: t.Label, Model: t.Model, Fold: t.Fold, Elapsed: time.Since(start)}
+		if err != nil {
+			e.Kind = TaskFailed
+			e.Err = err
+		}
+		hook.Emit(e)
+	}()
+	return t.Run(ctx)
+}
+
+// Map partitions the index range [0, n) into chunks of at most chunk
+// indices and runs fn(ctx, lo, hi) for each chunk on the pool. Chunks carry
+// labels "label[lo:hi)". Writes must be index-addressed so the result is
+// independent of scheduling.
+func Map(ctx context.Context, opts Options, n, chunk int, label string, fn func(ctx context.Context, lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	tasks := make([]Task, 0, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		tasks = append(tasks, Task{
+			Label: fmt.Sprintf("%s[%d:%d)", label, lo, hi),
+			Fold:  -1,
+			Run:   func(ctx context.Context) error { return fn(ctx, lo, hi) },
+		})
+	}
+	return Run(ctx, opts, tasks...)
+}

@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesAllTasks(t *testing.T) {
+	var done [20]atomic.Bool
+	tasks := make([]Task, len(done))
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Label: fmt.Sprintf("t%d", i), Fold: -1, Run: func(ctx context.Context) error {
+			done[i].Store(true)
+			return nil
+		}}
+	}
+	if err := Run(context.Background(), Options{Workers: 4}, tasks...); err != nil {
+		t.Fatal(err)
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("task %d did not run", i)
+		}
+	}
+}
+
+func TestRunBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	tasks := make([]Task, 24)
+	for i := range tasks {
+		tasks[i] = Task{Fold: -1, Run: func(ctx context.Context) error {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return nil
+		}}
+	}
+	if err := Run(context.Background(), Options{Workers: workers}, tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", p, workers)
+	}
+}
+
+func TestRunFirstErrorCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	tasks := make([]Task, 50)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Fold: -1, Run: func(ctx context.Context) error {
+			ran.Add(1)
+			if i == 0 {
+				return boom
+			}
+			// Later tasks wait on cancellation so the test is not timing
+			// dependent: once task 0 fails, these return promptly.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Second):
+				return errors.New("cancellation never arrived")
+			}
+		}}
+	}
+	err := Run(context.Background(), Options{Workers: 4}, tasks...)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n == int64(len(tasks)) {
+		t.Fatalf("all %d tasks ran; expected the queue to be abandoned after the failure", n)
+	}
+}
+
+func TestRunReturnsFirstErrorInSubmissionOrder(t *testing.T) {
+	// Two genuine failures: the submission-order-first one must win so
+	// error reporting is deterministic.
+	errA, errB := errors.New("a"), errors.New("b")
+	var gate sync.WaitGroup
+	gate.Add(2)
+	tasks := []Task{
+		{Fold: -1, Run: func(ctx context.Context) error { gate.Done(); gate.Wait(); return errA }},
+		{Fold: -1, Run: func(ctx context.Context) error { gate.Done(); gate.Wait(); return errB }},
+	}
+	err := Run(context.Background(), Options{Workers: 2}, tasks...)
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want %v", err, errA)
+	}
+}
+
+func TestRunPanicRecovery(t *testing.T) {
+	tasks := []Task{
+		{Label: "ok", Fold: -1, Run: func(ctx context.Context) error { return nil }},
+		{Label: "bad", Fold: -1, Run: func(ctx context.Context) error { panic("kaboom") }},
+	}
+	err := Run(context.Background(), Options{Workers: 2}, tasks...)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "kaboom" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+}
+
+func TestRunParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = Task{Fold: -1, Run: func(ctx context.Context) error {
+			once.Do(func() { close(started) })
+			<-ctx.Done()
+			return ctx.Err()
+		}}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	err := Run(ctx, Options{Workers: 2}, tasks...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := Run(ctx, Options{}, Task{Fold: -1, Run: func(ctx context.Context) error { ran = true; return nil }})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("task ran despite pre-cancelled context")
+	}
+}
+
+func TestRunEmptyAndNilHook(t *testing.T) {
+	if err := Run(context.Background(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var h Hook
+	h.Emit(Event{Kind: TaskStart}) // must not panic
+}
+
+func TestRunHookEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	hook := Hook(func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	boom := errors.New("boom")
+	tasks := []Task{
+		{Label: "good", Model: "LR-B", Fold: 2, Run: func(ctx context.Context) error { return nil }},
+		{Label: "bad", Fold: -1, Run: func(ctx context.Context) error { return boom }},
+	}
+	_ = Run(context.Background(), Options{Workers: 1, Hook: hook}, tasks...)
+
+	counts := map[EventKind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	if counts[TaskStart] != 2 || counts[TaskDone] != 1 || counts[TaskFailed] != 1 {
+		t.Fatalf("event counts = %v", counts)
+	}
+	for _, e := range events {
+		if e.Label == "good" && e.Kind == TaskStart {
+			if e.Model != "LR-B" || e.Fold != 2 {
+				t.Fatalf("task metadata not propagated: %+v", e)
+			}
+		}
+		if e.Kind == TaskFailed && !errors.Is(e.Err, boom) {
+			t.Fatalf("TaskFailed.Err = %v", e.Err)
+		}
+	}
+}
+
+func TestMapCoversRangeInChunks(t *testing.T) {
+	const n = 103
+	out := make([]int, n)
+	err := Map(context.Background(), Options{Workers: 4}, n, 10, "square", func(ctx context.Context, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = i * i
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != i*i {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestMapZeroLength(t *testing.T) {
+	err := Map(context.Background(), Options{}, 0, 8, "noop", func(ctx context.Context, lo, hi int) error {
+		t.Fatal("fn called for empty range")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Map(context.Background(), Options{Workers: 2}, 100, 7, "boom", func(ctx context.Context, lo, hi int) error {
+		if lo >= 14 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		TaskStart: "start", TaskDone: "done", TaskFailed: "failed", EpochProgress: "epoch",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}

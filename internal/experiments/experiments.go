@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 
 	"perfpred/internal/core"
 	"perfpred/internal/cpu"
+	"perfpred/internal/engine"
 	"perfpred/internal/space"
 	"perfpred/internal/specdata"
 	"perfpred/internal/stat"
@@ -37,6 +39,9 @@ type Config struct {
 	// all 4608 (0/1 = full space). Use a value coprime to the space's
 	// dimension sizes, e.g. 11.
 	SpaceStride int
+	// Hook, if non-nil, observes execution-engine events from every
+	// workflow an experiment runs.
+	Hook engine.Hook
 }
 
 func (c Config) seed() int64 {
@@ -47,12 +52,12 @@ func (c Config) seed() int64 {
 }
 
 func (c Config) trainCfg() core.TrainConfig {
-	return core.TrainConfig{Seed: c.seed(), Workers: c.Workers, EpochScale: c.EpochScale}
+	return core.TrainConfig{Seed: c.seed(), Workers: c.Workers, EpochScale: c.EpochScale, Hook: c.Hook}
 }
 
 // groundTruth simulates the (possibly subsampled) design space for a
 // benchmark and returns it as a dataset.
-func groundTruth(bench string, cfg Config) (*trace.Trace, []space.MicroConfig, []float64, error) {
+func groundTruth(ctx context.Context, bench string, cfg Config) (*trace.Trace, []space.MicroConfig, []float64, error) {
 	prof, err := trace.ProfileByName(bench)
 	if err != nil {
 		return nil, nil, nil, err
@@ -77,7 +82,7 @@ func groundTruth(bench string, cfg Config) (*trace.Trace, []space.MicroConfig, [
 		}
 		cfgs = sub
 	}
-	cycles, err := space.Sweep(eval, cfgs, cfg.Workers)
+	cycles, err := space.Sweep(ctx, eval, cfgs, cfg.Workers)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -112,14 +117,14 @@ type SampledStudy struct {
 }
 
 // RunSampledStudy regenerates one Figures 2–6 panel set for a benchmark.
-func RunSampledStudy(bench string, fractions []float64, kinds []core.ModelKind, cfg Config) (*SampledStudy, error) {
+func RunSampledStudy(ctx context.Context, bench string, fractions []float64, kinds []core.ModelKind, cfg Config) (*SampledStudy, error) {
 	if len(fractions) == 0 {
 		return nil, errors.New("experiments: no sampling fractions")
 	}
 	if len(kinds) == 0 {
 		return nil, errors.New("experiments: no model kinds")
 	}
-	_, cfgs, cycles, err := groundTruth(bench, cfg)
+	_, cfgs, cycles, err := groundTruth(ctx, bench, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +143,7 @@ func RunSampledStudy(bench string, fractions []float64, kinds []core.ModelKind, 
 	for fi, frac := range fractions {
 		tc := cfg.trainCfg()
 		tc.Seed = stat.DeriveSeed(cfg.seed(), 9000+fi)
-		res, err := core.RunSampledDSE(full, frac, kinds, tc)
+		res, err := core.RunSampledDSE(ctx, full, frac, kinds, tc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s at %.0f%%: %w", bench, 100*frac, err)
 		}
@@ -285,7 +290,7 @@ type ChronoStudy struct {
 
 // RunChronoStudy trains on the family's 2005 announcements and predicts
 // its 2006 announcements with the requested models.
-func RunChronoStudy(family string, kinds []core.ModelKind, cfg Config) (*ChronoStudy, error) {
+func RunChronoStudy(ctx context.Context, family string, kinds []core.ModelKind, cfg Config) (*ChronoStudy, error) {
 	fam, err := specdata.FamilyByName(family)
 	if err != nil {
 		return nil, err
@@ -302,7 +307,7 @@ func RunChronoStudy(family string, kinds []core.ModelKind, cfg Config) (*ChronoS
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.RunChronological(train, future, kinds, cfg.trainCfg())
+	res, err := core.RunChronological(ctx, train, future, kinds, cfg.trainCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -358,10 +363,10 @@ func PaperTable2() map[string]struct {
 }
 
 // RunTable2 runs the chronological study for every family.
-func RunTable2(kinds []core.ModelKind, cfg Config) (*Table2, error) {
+func RunTable2(ctx context.Context, kinds []core.ModelKind, cfg Config) (*Table2, error) {
 	t := &Table2{}
 	for _, fam := range specdata.Families() {
-		s, err := RunChronoStudy(fam.Name, kinds, cfg)
+		s, err := RunChronoStudy(ctx, fam.Name, kinds, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: family %s: %w", fam.Name, err)
 		}
@@ -395,14 +400,14 @@ type CalibrationRow struct {
 
 // RunMicroCalibration reproduces the §4.1 simulation statistics (range and
 // variance of cycles across the design space) for the figured benchmarks.
-func RunMicroCalibration(cfg Config) ([]CalibrationRow, error) {
+func RunMicroCalibration(ctx context.Context, cfg Config) ([]CalibrationRow, error) {
 	paper := map[string][2]float64{
 		"applu": {1.62, 0.16}, "equake": {1.73, 0.19}, "gcc": {5.27, 0.33},
 		"mesa": {2.22, 0.19}, "mcf": {6.38, 0.71},
 	}
 	var rows []CalibrationRow
 	for _, prof := range trace.FiguredProfiles() {
-		_, _, cycles, err := groundTruth(prof.Name, cfg)
+		_, _, cycles, err := groundTruth(ctx, prof.Name, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -421,7 +426,7 @@ func RunMicroCalibration(cfg Config) ([]CalibrationRow, error) {
 }
 
 // RunSpecCalibration reproduces the §4.1 SPEC family statistics.
-func RunSpecCalibration(cfg Config) ([]CalibrationRow, error) {
+func RunSpecCalibration(ctx context.Context, cfg Config) ([]CalibrationRow, error) {
 	var rows []CalibrationRow
 	for _, fam := range specdata.Families() {
 		recs, err := specdata.Generate(fam, cfg.seed())
@@ -464,7 +469,7 @@ type ImportanceReport struct {
 
 // RunImportance trains an NN-Q and an LR-E model on a family's 2005 data
 // and reports both models' field importance rankings.
-func RunImportance(family string, cfg Config) (*ImportanceReport, error) {
+func RunImportance(ctx context.Context, family string, cfg Config) (*ImportanceReport, error) {
 	fam, err := specdata.FamilyByName(family)
 	if err != nil {
 		return nil, err
@@ -477,7 +482,7 @@ func RunImportance(family string, cfg Config) (*ImportanceReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	nn, err := core.Train(core.NNQ, train, cfg.trainCfg())
+	nn, err := core.Train(ctx, core.NNQ, train, cfg.trainCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -485,7 +490,7 @@ func RunImportance(family string, cfg Config) (*ImportanceReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	lr, err := core.Train(core.LRE, train, cfg.trainCfg())
+	lr, err := core.Train(ctx, core.LRE, train, cfg.trainCfg())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func fastCfg() Config {
 func TestRunSampledStudy(t *testing.T) {
 	fracs := []float64{0.2, 0.5}
 	kinds := []core.ModelKind{core.LRB, core.NNS}
-	s, err := RunSampledStudy("applu", fracs, kinds, fastCfg())
+	s, err := RunSampledStudy(context.Background(), "applu", fracs, kinds, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,19 +56,19 @@ func TestRunSampledStudy(t *testing.T) {
 }
 
 func TestRunSampledStudyErrors(t *testing.T) {
-	if _, err := RunSampledStudy("applu", nil, []core.ModelKind{core.LRB}, fastCfg()); err == nil {
+	if _, err := RunSampledStudy(context.Background(), "applu", nil, []core.ModelKind{core.LRB}, fastCfg()); err == nil {
 		t.Fatal("no fractions: want error")
 	}
-	if _, err := RunSampledStudy("applu", []float64{0.2}, nil, fastCfg()); err == nil {
+	if _, err := RunSampledStudy(context.Background(), "applu", []float64{0.2}, nil, fastCfg()); err == nil {
 		t.Fatal("no kinds: want error")
 	}
-	if _, err := RunSampledStudy("doom3", []float64{0.2}, []core.ModelKind{core.LRB}, fastCfg()); err == nil {
+	if _, err := RunSampledStudy(context.Background(), "doom3", []float64{0.2}, []core.ModelKind{core.LRB}, fastCfg()); err == nil {
 		t.Fatal("unknown bench: want error")
 	}
 }
 
 func TestSampledStudyWriteText(t *testing.T) {
-	s, err := RunSampledStudy("applu", []float64{0.25}, []core.ModelKind{core.LRB}, fastCfg())
+	s, err := RunSampledStudy(context.Background(), "applu", []float64{0.25}, []core.ModelKind{core.LRB}, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestComputeTable3(t *testing.T) {
 	kinds := []core.ModelKind{core.LRB, core.NNS}
 	var studies []*SampledStudy
 	for _, b := range []string{"applu", "gcc"} {
-		s, err := RunSampledStudy(b, fracs, kinds, cfg)
+		s, err := RunSampledStudy(context.Background(), b, fracs, kinds, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func TestPaperReferenceTables(t *testing.T) {
 
 func TestRunChronoStudy(t *testing.T) {
 	kinds := []core.ModelKind{core.LRE, core.LRB, core.NNS}
-	s, err := RunChronoStudy("Pentium D", kinds, fastCfg())
+	s, err := RunChronoStudy(context.Background(), "Pentium D", kinds, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestRunChronoStudy(t *testing.T) {
 	if !strings.Contains(buf.String(), "Pentium D") {
 		t.Fatal("render missing family")
 	}
-	if _, err := RunChronoStudy("Itanium", kinds, fastCfg()); err == nil {
+	if _, err := RunChronoStudy(context.Background(), "Itanium", kinds, fastCfg()); err == nil {
 		t.Fatal("unknown family: want error")
 	}
 }
@@ -172,7 +173,7 @@ func TestChronologicalShape(t *testing.T) {
 	cfg := fastCfg()
 	cfg.EpochScale = 0.5
 	for _, fam := range []string{"Pentium D", "Opteron 2"} {
-		s, err := RunChronoStudy(fam, []core.ModelKind{core.LRE, core.NNQ}, cfg)
+		s, err := RunChronoStudy(context.Background(), fam, []core.ModelKind{core.LRE, core.NNQ}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func TestChronologicalShape(t *testing.T) {
 
 func TestRunTable2(t *testing.T) {
 	kinds := []core.ModelKind{core.LRE, core.LRB}
-	t2, err := RunTable2(kinds, fastCfg())
+	t2, err := RunTable2(context.Background(), kinds, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestRunTable2(t *testing.T) {
 
 func TestRunCalibrations(t *testing.T) {
 	cfg := fastCfg()
-	micro, err := RunMicroCalibration(cfg)
+	micro, err := RunMicroCalibration(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestRunCalibrations(t *testing.T) {
 			t.Fatalf("row %+v degenerate", r)
 		}
 	}
-	spec, err := RunSpecCalibration(cfg)
+	spec, err := RunSpecCalibration(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestRunCalibrations(t *testing.T) {
 func TestRunImportance(t *testing.T) {
 	cfg := fastCfg()
 	cfg.EpochScale = 0.5
-	rep, err := RunImportance("Opteron", cfg)
+	rep, err := RunImportance(context.Background(), "Opteron", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestRunImportance(t *testing.T) {
 	if !strings.Contains(buf.String(), "speed_mhz") {
 		t.Fatal("render missing top field")
 	}
-	if _, err := RunImportance("Itanium", cfg); err == nil {
+	if _, err := RunImportance(context.Background(), "Itanium", cfg); err == nil {
 		t.Fatal("unknown family: want error")
 	}
 }

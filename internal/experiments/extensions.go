@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -39,7 +40,7 @@ type PerAppStudy struct {
 
 // RunPerAppChrono predicts each of the twelve CINT2000 application
 // runtimes chronologically (2005 → 2006) for one family.
-func RunPerAppChrono(family string, kinds []core.ModelKind, cfg Config) (*PerAppStudy, error) {
+func RunPerAppChrono(ctx context.Context, family string, kinds []core.ModelKind, cfg Config) (*PerAppStudy, error) {
 	fam, err := specdata.FamilyByName(family)
 	if err != nil {
 		return nil, err
@@ -58,7 +59,7 @@ func RunPerAppChrono(family string, kinds []core.ModelKind, cfg Config) (*PerApp
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.RunChronological(train, future, kinds, cfg.trainCfg())
+		res, err := core.RunChronological(ctx, train, future, kinds, cfg.trainCfg())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s/%s: %w", family, app, err)
 		}
@@ -67,7 +68,7 @@ func RunPerAppChrono(family string, kinds []core.ModelKind, cfg Config) (*PerApp
 		study.Results = append(study.Results, r)
 	}
 	// Reference: the published rate experiment.
-	rate, err := RunChronoStudy(family, kinds, cfg)
+	rate, err := RunChronoStudy(ctx, family, kinds, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +122,7 @@ type RollingStudy struct {
 
 // RunRollingChrono trains on each year Y and predicts year Y+1 for every
 // adjacent pair in the family's history.
-func RunRollingChrono(family string, kinds []core.ModelKind, cfg Config) (*RollingStudy, error) {
+func RunRollingChrono(ctx context.Context, family string, kinds []core.ModelKind, cfg Config) (*RollingStudy, error) {
 	fam, err := specdata.FamilyByName(family)
 	if err != nil {
 		return nil, err
@@ -144,7 +145,7 @@ func RunRollingChrono(family string, kinds []core.ModelKind, cfg Config) (*Rolli
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.RunChronological(train, future, kinds, cfg.trainCfg())
+		res, err := core.RunChronological(ctx, train, future, kinds, cfg.trainCfg())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s %d→%d: %w", family, years[i], years[i+1], err)
 		}
@@ -182,8 +183,8 @@ type SelectAblation struct {
 
 // RunSelectAblation runs one sampled-DSE experiment and applies both
 // selection criteria to the same reports.
-func RunSelectAblation(bench string, frac float64, kinds []core.ModelKind, cfg Config) (*SelectAblation, error) {
-	_, cfgs, cycles, err := groundTruth(bench, cfg)
+func RunSelectAblation(ctx context.Context, bench string, frac float64, kinds []core.ModelKind, cfg Config) (*SelectAblation, error) {
+	_, cfgs, cycles, err := groundTruth(ctx, bench, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +192,7 @@ func RunSelectAblation(bench string, frac float64, kinds []core.ModelKind, cfg C
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.RunSampledDSE(full, frac, kinds, cfg.trainCfg())
+	res, err := core.RunSampledDSE(ctx, full, frac, kinds, cfg.trainCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -228,8 +229,8 @@ type SamplingAblation struct {
 
 // RunSamplingAblation trains the same model kind on a random sample and on
 // a same-size systematic sample of the space and compares true errors.
-func RunSamplingAblation(bench string, frac float64, kind core.ModelKind, cfg Config) (*SamplingAblation, error) {
-	_, cfgs, cycles, err := groundTruth(bench, cfg)
+func RunSamplingAblation(ctx context.Context, bench string, frac float64, kind core.ModelKind, cfg Config) (*SamplingAblation, error) {
+	_, cfgs, cycles, err := groundTruth(ctx, bench, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -244,11 +245,11 @@ func RunSamplingAblation(bench string, frac float64, kind core.ModelKind, cfg Co
 	if err != nil {
 		return nil, err
 	}
-	pRand, err := core.Train(kind, randomSample, tc)
+	pRand, err := core.Train(ctx, kind, randomSample, tc)
 	if err != nil {
 		return nil, err
 	}
-	randTrue, _, err := pRand.Evaluate(full)
+	randTrue, _, err := pRand.Evaluate(ctx, full)
 	if err != nil {
 		return nil, err
 	}
@@ -263,11 +264,11 @@ func RunSamplingAblation(bench string, frac float64, kind core.ModelKind, cfg Co
 	if err != nil {
 		return nil, err
 	}
-	pSys, err := core.Train(kind, sysSample, tc)
+	pSys, err := core.Train(ctx, kind, sysSample, tc)
 	if err != nil {
 		return nil, err
 	}
-	sysTrue, _, err := pSys.Evaluate(full)
+	sysTrue, _, err := pSys.Evaluate(ctx, full)
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +298,7 @@ type CrossFamilyResult struct {
 // RunCrossFamily trains on one family's 2005 announcements and evaluates
 // both within the family (its 2006 systems) and across families (the
 // other family's 2005 systems).
-func RunCrossFamily(trainFam, testFam string, kind core.ModelKind, cfg Config) (*CrossFamilyResult, error) {
+func RunCrossFamily(ctx context.Context, trainFam, testFam string, kind core.ModelKind, cfg Config) (*CrossFamilyResult, error) {
 	tf, err := specdata.FamilyByName(trainFam)
 	if err != nil {
 		return nil, err
@@ -326,15 +327,15 @@ func RunCrossFamily(trainFam, testFam string, kind core.ModelKind, cfg Config) (
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.Train(kind, train, cfg.trainCfg())
+	p, err := core.Train(ctx, kind, train, cfg.trainCfg())
 	if err != nil {
 		return nil, err
 	}
 	res := &CrossFamilyResult{TrainFamily: trainFam, TestFamily: testFam, Kind: kind}
-	if res.WithinTrue, _, err = p.Evaluate(within); err != nil {
+	if res.WithinTrue, _, err = p.Evaluate(ctx, within); err != nil {
 		return nil, err
 	}
-	if res.CrossTrue, _, err = p.Evaluate(cross); err != nil {
+	if res.CrossTrue, _, err = p.Evaluate(ctx, cross); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -353,11 +354,11 @@ type LearningCurve struct {
 
 // RunLearningCurve measures the model's whole-space error at each sampling
 // fraction.
-func RunLearningCurve(bench string, kind core.ModelKind, fractions []float64, cfg Config) (*LearningCurve, error) {
+func RunLearningCurve(ctx context.Context, bench string, kind core.ModelKind, fractions []float64, cfg Config) (*LearningCurve, error) {
 	if len(fractions) == 0 {
 		return nil, fmt.Errorf("experiments: no fractions")
 	}
-	_, cfgs, cycles, err := groundTruth(bench, cfg)
+	_, cfgs, cycles, err := groundTruth(ctx, bench, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -373,11 +374,11 @@ func RunLearningCurve(bench string, kind core.ModelKind, fractions []float64, cf
 		if err != nil {
 			return nil, err
 		}
-		p, err := core.Train(kind, sample, tc)
+		p, err := core.Train(ctx, kind, sample, tc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s at %.2f%%: %w", bench, 100*frac, err)
 		}
-		mape, _, err := p.Evaluate(full)
+		mape, _, err := p.Evaluate(ctx, full)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func TestRunPerAppChrono(t *testing.T) {
 	cfg := fastCfg()
 	kinds := []core.ModelKind{core.LRE, core.NNS}
-	s, err := RunPerAppChrono("Pentium D", kinds, cfg)
+	s, err := RunPerAppChrono(context.Background(), "Pentium D", kinds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestRunPerAppChrono(t *testing.T) {
 	if !strings.Contains(buf.String(), "twolf") {
 		t.Fatal("render missing an application")
 	}
-	if _, err := RunPerAppChrono("Itanium", kinds, cfg); err == nil {
+	if _, err := RunPerAppChrono(context.Background(), "Itanium", kinds, cfg); err == nil {
 		t.Fatal("unknown family: want error")
 	}
 }
@@ -47,7 +48,7 @@ func TestRunPerAppChrono(t *testing.T) {
 func TestPerAppAccuracyComparableToRate(t *testing.T) {
 	cfg := fastCfg()
 	cfg.EpochScale = 0.4
-	s, err := RunPerAppChrono("Pentium D", []core.ModelKind{core.LRE, core.LRB}, cfg)
+	s, err := RunPerAppChrono(context.Background(), "Pentium D", []core.ModelKind{core.LRE, core.LRB}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestPerAppAccuracyComparableToRate(t *testing.T) {
 func TestRunRollingChrono(t *testing.T) {
 	cfg := fastCfg()
 	kinds := []core.ModelKind{core.LRE, core.LRB}
-	s, err := RunRollingChrono("Opteron 2", kinds, cfg)
+	s, err := RunRollingChrono(context.Background(), "Opteron 2", kinds, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,13 +89,13 @@ func TestRunRollingChrono(t *testing.T) {
 	if !strings.Contains(buf.String(), "2005→2006") {
 		t.Fatalf("render missing final pair:\n%s", buf.String())
 	}
-	if _, err := RunRollingChrono("Itanium", kinds, cfg); err == nil {
+	if _, err := RunRollingChrono(context.Background(), "Itanium", kinds, cfg); err == nil {
 		t.Fatal("unknown family: want error")
 	}
 }
 
 func TestRunSelectAblation(t *testing.T) {
-	ab, err := RunSelectAblation("applu", 0.3, []core.ModelKind{core.LRB, core.NNS}, fastCfg())
+	ab, err := RunSelectAblation(context.Background(), "applu", 0.3, []core.ModelKind{core.LRB, core.NNS}, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestRunSelectAblation(t *testing.T) {
 }
 
 func TestRunSamplingAblation(t *testing.T) {
-	ab, err := RunSamplingAblation("applu", 0.25, core.NNS, fastCfg())
+	ab, err := RunSamplingAblation(context.Background(), "applu", 0.25, core.NNS, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestRunSamplingAblation(t *testing.T) {
 // per-family analysis: a model trained on one family fails on another.
 func TestCrossFamilyDegrades(t *testing.T) {
 	cfg := fastCfg()
-	r, err := RunCrossFamily("Xeon", "Opteron", core.LRE, cfg)
+	r, err := RunCrossFamily(context.Background(), "Xeon", "Opteron", core.LRE, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,17 +135,17 @@ func TestCrossFamilyDegrades(t *testing.T) {
 	if r.CrossTrue < 3*r.WithinTrue {
 		t.Fatalf("cross-family error %.2f should dwarf within-family %.2f", r.CrossTrue, r.WithinTrue)
 	}
-	if _, err := RunCrossFamily("Itanium", "Xeon", core.LRE, cfg); err == nil {
+	if _, err := RunCrossFamily(context.Background(), "Itanium", "Xeon", core.LRE, cfg); err == nil {
 		t.Fatal("unknown train family: want error")
 	}
-	if _, err := RunCrossFamily("Xeon", "Itanium", core.LRE, cfg); err == nil {
+	if _, err := RunCrossFamily(context.Background(), "Xeon", "Itanium", core.LRE, cfg); err == nil {
 		t.Fatal("unknown test family: want error")
 	}
 }
 
 func TestRunLearningCurve(t *testing.T) {
 	cfg := fastCfg()
-	lc, err := RunLearningCurve("applu", core.NNS, []float64{0.1, 0.3, 0.6}, cfg)
+	lc, err := RunLearningCurve(context.Background(), "applu", core.NNS, []float64{0.1, 0.3, 0.6}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestRunLearningCurve(t *testing.T) {
 	if !strings.Contains(buf.String(), "Learning curve") {
 		t.Fatal("render missing title")
 	}
-	if _, err := RunLearningCurve("applu", core.NNS, nil, cfg); err == nil {
+	if _, err := RunLearningCurve(context.Background(), "applu", core.NNS, nil, cfg); err == nil {
 		t.Fatal("no fractions: want error")
 	}
 }

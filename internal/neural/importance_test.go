@@ -1,6 +1,7 @@
 package neural
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -16,7 +17,7 @@ func TestImportanceRanksDominantInput(t *testing.T) {
 		x[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
 		y[i] = 0.1 + 0.7*x[i][0] + 0.1*x[i][1]
 	}
-	m, err := Train(x, y, Config{Method: Quick, Seed: 5, EpochScale: 0.6})
+	m, err := Train(context.Background(), x, y, Config{Method: Quick, Seed: 5, EpochScale: 0.6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestImportanceConstantInputIsZero(t *testing.T) {
 		x[i] = []float64{r.Float64(), 0.5} // second input constant
 		y[i] = 0.2 + 0.6*x[i][0]
 	}
-	m, err := Train(x, y, Config{Method: Single, Seed: 6, EpochScale: 0.4})
+	m, err := Train(context.Background(), x, y, Config{Method: Single, Seed: 6, EpochScale: 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestImportanceConstantInputIsZero(t *testing.T) {
 
 func TestImportanceFrozenInputIsZero(t *testing.T) {
 	x, y := smoothData(3, 80)
-	m, err := Train(x, y, Config{Method: Single, Seed: 7, EpochScale: 0.4})
+	m, err := Train(context.Background(), x, y, Config{Method: Single, Seed: 7, EpochScale: 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestImportanceFrozenInputIsZero(t *testing.T) {
 
 func TestImportanceErrors(t *testing.T) {
 	x, y := smoothData(4, 40)
-	m, err := Train(x, y, Config{Method: Single, Seed: 8, EpochScale: 0.4})
+	m, err := Train(context.Background(), x, y, Config{Method: Single, Seed: 8, EpochScale: 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestImportanceErrors(t *testing.T) {
 
 func TestImportanceDeterministic(t *testing.T) {
 	x, y := smoothData(5, 150)
-	m, err := Train(x, y, Config{Method: Single, Seed: 9, EpochScale: 0.4})
+	m, err := Train(context.Background(), x, y, Config{Method: Single, Seed: 9, EpochScale: 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}

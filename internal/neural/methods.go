@@ -1,12 +1,13 @@
 package neural
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
+	"perfpred/internal/engine"
 	"perfpred/internal/stat"
 )
 
@@ -73,6 +74,10 @@ type Config struct {
 	// EpochScale multiplies every method's default epoch counts; zero
 	// means 1.0. Tests use small values to stay fast.
 	EpochScale float64
+	// Hook, if non-nil, observes topology-search task events and
+	// epoch-granularity training progress. Observability only; never
+	// affects results.
+	Hook engine.Hook
 }
 
 func (c Config) workers() int {
@@ -125,7 +130,11 @@ func (m *Model) ValidationMSE() float64 { return m.valMSE }
 
 // Train fits a neural network to x (rows of [0,1]-scaled features) and
 // scalar targets y (also [0,1]-scaled) using the configured method.
-func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
+// Cancelling ctx aborts the epoch loops promptly with ctx's error.
+func Train(ctx context.Context, x [][]float64, y []float64, cfg Config) (*Model, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(x) == 0 {
 		return nil, errors.New("neural: no training data")
 	}
@@ -154,17 +163,17 @@ func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
 
 	switch cfg.Method {
 	case Quick:
-		return trainQuick(x, y, xtr, ytr, xval, yval, cfg)
+		return trainQuick(ctx, x, y, xtr, ytr, xval, yval, cfg)
 	case Single:
-		return trainSingle(x, y, cfg)
+		return trainSingle(ctx, x, y, cfg)
 	case Dynamic:
-		return trainDynamic(x, y, xtr, ytr, xval, yval, cfg)
+		return trainDynamic(ctx, x, y, xtr, ytr, xval, yval, cfg)
 	case Multiple:
-		return trainMultiple(x, y, xtr, ytr, xval, yval, cfg)
+		return trainMultiple(ctx, x, y, xtr, ytr, xval, yval, cfg)
 	case Prune:
-		return trainPrune(x, y, xtr, ytr, xval, yval, cfg, false)
+		return trainPrune(ctx, x, y, xtr, ytr, xval, yval, cfg, false)
 	case ExhaustivePrune:
-		return trainPrune(x, y, xtr, ytr, xval, yval, cfg, true)
+		return trainPrune(ctx, x, y, xtr, ytr, xval, yval, cfg, true)
 	default:
 		return nil, fmt.Errorf("neural: unknown method %v", cfg.Method)
 	}
@@ -181,44 +190,48 @@ func gather(x [][]float64, y []float64, idx []int) ([][]float64, []float64) {
 }
 
 // finalPolish retrains net on the full dataset from its current weights.
-func finalPolish(net *Network, x [][]float64, y []float64, cfg Config, epochs int, seed int64) error {
-	_, err := net.trainSGD(x, toColumn(y), sgdOptions{
+func finalPolish(ctx context.Context, net *Network, x [][]float64, y []float64, cfg Config, epochs int, seed int64) error {
+	_, err := net.trainSGD(ctx, x, toColumn(y), sgdOptions{
 		epochs:   cfg.epochs(epochs),
 		lr:       0.25,
 		lrFinal:  0.02,
 		momentum: 0.9,
 		patience: 60,
 		minDelta: 1e-7,
+		hook:     cfg.Hook,
+		label:    cfg.Method.String() + " polish",
 	}, stat.NewRand(seed))
 	return err
 }
 
-func trainQuick(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config) (*Model, error) {
+func trainQuick(ctx context.Context, x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config) (*Model, error) {
 	p := len(x[0])
 	h := max(3, (p+1)/2)
 	net, err := NewNetwork([]int{p, h, 1}, Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, 1))
 	if err != nil {
 		return nil, err
 	}
-	_, err = net.trainSGD(xtr, toColumn(ytr), sgdOptions{
+	_, err = net.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
 		epochs:   cfg.epochs(300),
 		lr:       0.4,
 		lrFinal:  0.05,
 		momentum: 0.9,
 		patience: 50,
 		minDelta: 1e-7,
+		hook:     cfg.Hook,
+		label:    "NN-Q",
 	}, stat.NewSubRand(cfg.Seed, 2))
 	if err != nil {
 		return nil, err
 	}
 	val := net.mseOn(xval, yval)
-	if err := finalPolish(net, x, y, cfg, 200, stat.DeriveSeed(cfg.Seed, 3)); err != nil {
+	if err := finalPolish(ctx, net, x, y, cfg, 200, stat.DeriveSeed(cfg.Seed, 3)); err != nil {
 		return nil, err
 	}
 	return &Model{net: net, method: Quick, valMSE: val}, nil
 }
 
-func trainSingle(x [][]float64, y []float64, cfg Config) (*Model, error) {
+func trainSingle(ctx context.Context, x [][]float64, y []float64, cfg Config) (*Model, error) {
 	p := len(x[0])
 	h := max(2, (p+2)/4)
 	net, err := NewNetwork([]int{p, h, 1}, Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, 4))
@@ -226,12 +239,14 @@ func trainSingle(x [][]float64, y []float64, cfg Config) (*Model, error) {
 		return nil, err
 	}
 	// Constant learning rate, one small hidden layer (paper §3.2, NN-S).
-	_, err = net.trainSGD(x, toColumn(y), sgdOptions{
+	_, err = net.trainSGD(ctx, x, toColumn(y), sgdOptions{
 		epochs:   cfg.epochs(250),
 		lr:       0.2,
 		momentum: 0.5,
 		patience: 40,
 		minDelta: 1e-7,
+		hook:     cfg.Hook,
+		label:    "NN-S",
 	}, stat.NewSubRand(cfg.Seed, 5))
 	if err != nil {
 		return nil, err
@@ -239,7 +254,7 @@ func trainSingle(x [][]float64, y []float64, cfg Config) (*Model, error) {
 	return &Model{net: net, method: Single, valMSE: math.NaN()}, nil
 }
 
-func trainDynamic(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config) (*Model, error) {
+func trainDynamic(ctx context.Context, x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config) (*Model, error) {
 	p := len(x[0])
 	grow := max(1, p/8)
 	bestVal := math.Inf(1)
@@ -250,13 +265,15 @@ func trainDynamic(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xv
 		if err != nil {
 			return nil, err
 		}
-		_, err = net.trainSGD(xtr, toColumn(ytr), sgdOptions{
+		_, err = net.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
 			epochs:   cfg.epochs(150),
 			lr:       0.35,
 			lrFinal:  0.05,
 			momentum: 0.9,
 			patience: 30,
 			minDelta: 1e-7,
+			hook:     cfg.Hook,
+			label:    fmt.Sprintf("NN-D grow %d", step),
 		}, stat.NewSubRand(cfg.Seed, 30+step))
 		if err != nil {
 			return nil, err
@@ -273,13 +290,13 @@ func trainDynamic(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xv
 	if best == nil {
 		return nil, errors.New("neural: dynamic growth failed to produce a network")
 	}
-	if err := finalPolish(best, x, y, cfg, 200, stat.DeriveSeed(cfg.Seed, 50)); err != nil {
+	if err := finalPolish(ctx, best, x, y, cfg, 200, stat.DeriveSeed(cfg.Seed, 50)); err != nil {
 		return nil, err
 	}
 	return &Model{net: best, method: Dynamic, valMSE: bestVal}, nil
 }
 
-func trainMultiple(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config) (*Model, error) {
+func trainMultiple(ctx context.Context, x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config) (*Model, error) {
 	p := len(x[0])
 	topos := [][]int{
 		{p, max(2, p/4), 1},
@@ -291,35 +308,44 @@ func trainMultiple(x [][]float64, y []float64, xtr [][]float64, ytr []float64, x
 	type result struct {
 		net *Network
 		val float64
-		err error
 	}
 	results := make([]result, len(topos))
-	parallelFor(len(topos), cfg.workers(), func(i int) {
-		net, err := NewNetwork(topos[i], Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, 100+i))
-		if err != nil {
-			results[i] = result{err: err}
-			return
+	tasks := make([]engine.Task, len(topos))
+	for i := range topos {
+		i := i
+		tasks[i] = engine.Task{
+			Label: fmt.Sprintf("NN-M topo %d", i),
+			Model: "NN-M",
+			Fold:  -1,
+			Run: func(ctx context.Context) error {
+				net, err := NewNetwork(topos[i], Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, 100+i))
+				if err != nil {
+					return err
+				}
+				_, err = net.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
+					epochs:   cfg.epochs(250),
+					lr:       0.35,
+					lrFinal:  0.04,
+					momentum: 0.9,
+					patience: 40,
+					minDelta: 1e-7,
+					hook:     cfg.Hook,
+					label:    fmt.Sprintf("NN-M topo %d", i),
+				}, stat.NewSubRand(cfg.Seed, 200+i))
+				if err != nil {
+					return err
+				}
+				results[i] = result{net: net, val: net.mseOn(xval, yval)}
+				return nil
+			},
 		}
-		_, err = net.trainSGD(xtr, toColumn(ytr), sgdOptions{
-			epochs:   cfg.epochs(250),
-			lr:       0.35,
-			lrFinal:  0.04,
-			momentum: 0.9,
-			patience: 40,
-			minDelta: 1e-7,
-		}, stat.NewSubRand(cfg.Seed, 200+i))
-		if err != nil {
-			results[i] = result{err: err}
-			return
-		}
-		results[i] = result{net: net, val: net.mseOn(xval, yval)}
-	})
+	}
+	if err := engine.Run(ctx, engine.Options{Workers: cfg.workers(), Hook: cfg.Hook}, tasks...); err != nil {
+		return nil, err
+	}
 	bestVal := math.Inf(1)
 	var best *Network
 	for _, res := range results {
-		if res.err != nil {
-			return nil, res.err
-		}
 		if res.val < bestVal {
 			bestVal = res.val
 			best = res.net
@@ -328,14 +354,14 @@ func trainMultiple(x [][]float64, y []float64, xtr [][]float64, ytr []float64, x
 	if best == nil {
 		return nil, errors.New("neural: multiple-topology search produced no network")
 	}
-	if err := finalPolish(best, x, y, cfg, 200, stat.DeriveSeed(cfg.Seed, 300)); err != nil {
+	if err := finalPolish(ctx, best, x, y, cfg, 200, stat.DeriveSeed(cfg.Seed, 300)); err != nil {
 		return nil, err
 	}
 	return &Model{net: best, method: Multiple, valMSE: bestVal}, nil
 }
 
 // trainPrune implements NN-P, and NN-E when exhaustive is true.
-func trainPrune(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config, exhaustive bool) (*Model, error) {
+func trainPrune(ctx context.Context, x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config, exhaustive bool) (*Model, error) {
 	p := len(x[0])
 	restarts := 1
 	startH := p
@@ -350,116 +376,132 @@ func trainPrune(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval
 		maxPrunes = p
 	}
 
+	method := Prune
+	if exhaustive {
+		method = ExhaustivePrune
+	}
+
 	type result struct {
 		net *Network
 		val float64
-		err error
 	}
 	results := make([]result, restarts)
-	parallelFor(restarts, cfg.workers(), func(ri int) {
-		seedBase := 1000 * (ri + 1)
-		net, err := NewNetwork([]int{p, startH, 1}, Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, seedBase))
-		if err != nil {
-			results[ri] = result{err: err}
-			return
-		}
-		_, err = net.trainSGD(xtr, toColumn(ytr), sgdOptions{
-			epochs:   cfg.epochs(trainEpochs),
-			lr:       0.35,
-			lrFinal:  0.03,
-			momentum: 0.9,
-			patience: 50,
-			minDelta: 1e-7,
-		}, stat.NewSubRand(cfg.Seed, seedBase+1))
-		if err != nil {
-			results[ri] = result{err: err}
-			return
-		}
-		val := net.mseOn(xval, yval)
-
-		// Alternate hidden-unit and input pruning while the held-out error
-		// stays within tolerance.
-		for prune := 0; prune < maxPrunes; prune++ {
-			cand := net.Clone()
-			pruned := false
-			if cand.sizes[1] > 2 {
-				sal := cand.hiddenSaliency(0)
-				victim := argmin(sal)
-				if err := cand.RemoveHidden(0, victim); err == nil {
-					pruned = true
+	tasks := make([]engine.Task, restarts)
+	for ri := 0; ri < restarts; ri++ {
+		ri := ri
+		tasks[ri] = engine.Task{
+			Label: fmt.Sprintf("%v restart %d", method, ri),
+			Model: method.String(),
+			Fold:  -1,
+			Run: func(ctx context.Context) error {
+				seedBase := 1000 * (ri + 1)
+				net, err := NewNetwork([]int{p, startH, 1}, Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, seedBase))
+				if err != nil {
+					return err
 				}
-			}
-			if !pruned {
-				// Fall back to input pruning.
-				sal := cand.inputSaliency()
-				victim, ok := weakestUnfrozen(cand, sal)
-				if !ok {
-					break
-				}
-				if err := cand.FreezeInput(victim); err != nil {
-					break
-				}
-			}
-			_, err := cand.trainSGD(xtr, toColumn(ytr), sgdOptions{
-				epochs:   cfg.epochs(retrainEpochs),
-				lr:       0.2,
-				lrFinal:  0.03,
-				momentum: 0.9,
-				patience: 25,
-				minDelta: 1e-7,
-			}, stat.NewSubRand(cfg.Seed, seedBase+10+prune))
-			if err != nil {
-				results[ri] = result{err: err}
-				return
-			}
-			cval := cand.mseOn(xval, yval)
-			if cval <= val*tol {
-				net, val = cand, math.Min(cval, val)
-				continue
-			}
-			break
-		}
-		// Exhaustive mode also prunes weak inputs after the unit sweep.
-		if exhaustive {
-			for prune := 0; prune < p/2; prune++ {
-				cand := net.Clone()
-				sal := cand.inputSaliency()
-				victim, ok := weakestUnfrozen(cand, sal)
-				if !ok {
-					break
-				}
-				if err := cand.FreezeInput(victim); err != nil {
-					break
-				}
-				_, err := cand.trainSGD(xtr, toColumn(ytr), sgdOptions{
-					epochs:   cfg.epochs(retrainEpochs),
-					lr:       0.15,
+				_, err = net.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
+					epochs:   cfg.epochs(trainEpochs),
+					lr:       0.35,
 					lrFinal:  0.03,
 					momentum: 0.9,
-					patience: 25,
+					patience: 50,
 					minDelta: 1e-7,
-				}, stat.NewSubRand(cfg.Seed, seedBase+500+prune))
+					hook:     cfg.Hook,
+					label:    fmt.Sprintf("%v restart %d", method, ri),
+				}, stat.NewSubRand(cfg.Seed, seedBase+1))
 				if err != nil {
-					results[ri] = result{err: err}
-					return
+					return err
 				}
-				cval := cand.mseOn(xval, yval)
-				if cval <= val*tol {
-					net, val = cand, math.Min(cval, val)
-					continue
+				val := net.mseOn(xval, yval)
+
+				// Alternate hidden-unit and input pruning while the held-out
+				// error stays within tolerance.
+				for prune := 0; prune < maxPrunes; prune++ {
+					cand := net.Clone()
+					pruned := false
+					if cand.sizes[1] > 2 {
+						sal := cand.hiddenSaliency(0)
+						victim := argmin(sal)
+						if err := cand.RemoveHidden(0, victim); err == nil {
+							pruned = true
+						}
+					}
+					if !pruned {
+						// Fall back to input pruning.
+						sal := cand.inputSaliency()
+						victim, ok := weakestUnfrozen(cand, sal)
+						if !ok {
+							break
+						}
+						if err := cand.FreezeInput(victim); err != nil {
+							break
+						}
+					}
+					_, err := cand.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
+						epochs:   cfg.epochs(retrainEpochs),
+						lr:       0.2,
+						lrFinal:  0.03,
+						momentum: 0.9,
+						patience: 25,
+						minDelta: 1e-7,
+						hook:     cfg.Hook,
+						label:    fmt.Sprintf("%v restart %d prune %d", method, ri, prune),
+					}, stat.NewSubRand(cfg.Seed, seedBase+10+prune))
+					if err != nil {
+						return err
+					}
+					cval := cand.mseOn(xval, yval)
+					if cval <= val*tol {
+						net, val = cand, math.Min(cval, val)
+						continue
+					}
+					break
 				}
-				break
-			}
+				// Exhaustive mode also prunes weak inputs after the unit sweep.
+				if exhaustive {
+					for prune := 0; prune < p/2; prune++ {
+						cand := net.Clone()
+						sal := cand.inputSaliency()
+						victim, ok := weakestUnfrozen(cand, sal)
+						if !ok {
+							break
+						}
+						if err := cand.FreezeInput(victim); err != nil {
+							break
+						}
+						_, err := cand.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
+							epochs:   cfg.epochs(retrainEpochs),
+							lr:       0.15,
+							lrFinal:  0.03,
+							momentum: 0.9,
+							patience: 25,
+							minDelta: 1e-7,
+							hook:     cfg.Hook,
+							label:    fmt.Sprintf("%v restart %d input-prune %d", method, ri, prune),
+						}, stat.NewSubRand(cfg.Seed, seedBase+500+prune))
+						if err != nil {
+							return err
+						}
+						cval := cand.mseOn(xval, yval)
+						if cval <= val*tol {
+							net, val = cand, math.Min(cval, val)
+							continue
+						}
+						break
+					}
+				}
+				results[ri] = result{net: net, val: val}
+				return nil
+			},
 		}
-		results[ri] = result{net: net, val: val}
-	})
+	}
+	if err := engine.Run(ctx, engine.Options{Workers: cfg.workers(), Hook: cfg.Hook}, tasks...); err != nil {
+		return nil, err
+	}
 
 	bestVal := math.Inf(1)
 	var best *Network
 	for _, res := range results {
-		if res.err != nil {
-			return nil, res.err
-		}
 		if res.val < bestVal {
 			bestVal = res.val
 			best = res.net
@@ -472,12 +514,8 @@ func trainPrune(x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval
 	if exhaustive {
 		polish = 300
 	}
-	if err := finalPolish(best, x, y, cfg, polish, stat.DeriveSeed(cfg.Seed, 9999)); err != nil {
+	if err := finalPolish(ctx, best, x, y, cfg, polish, stat.DeriveSeed(cfg.Seed, 9999)); err != nil {
 		return nil, err
-	}
-	method := Prune
-	if exhaustive {
-		method = ExhaustivePrune
 	}
 	return &Model{net: best, method: method, valMSE: bestVal}, nil
 }
@@ -516,33 +554,4 @@ func max(a, b int) int {
 		return a
 	}
 	return b
-}
-
-// parallelFor runs fn(0..n-1) on up to workers goroutines and waits.
-func parallelFor(n, workers int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 }

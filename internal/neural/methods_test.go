@@ -1,6 +1,7 @@
 package neural
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -31,7 +32,7 @@ func TestTrainAllMethodsFitSmoothSurface(t *testing.T) {
 	x, y := smoothData(1, 120)
 	xt, yt := smoothData(2, 200)
 	for _, m := range Methods() {
-		model, err := Train(x, y, trainCfg(m))
+		model, err := Train(context.Background(), x, y, trainCfg(m))
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -53,11 +54,11 @@ func TestTrainAllMethodsFitSmoothSurface(t *testing.T) {
 func TestTrainDeterministic(t *testing.T) {
 	x, y := smoothData(3, 60)
 	for _, m := range []Method{Quick, Single, Multiple} {
-		m1, err := Train(x, y, trainCfg(m))
+		m1, err := Train(context.Background(), x, y, trainCfg(m))
 		if err != nil {
 			t.Fatal(err)
 		}
-		m2, err := Train(x, y, trainCfg(m))
+		m2, err := Train(context.Background(), x, y, trainCfg(m))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,11 +73,11 @@ func TestTrainMultipleDeterministicAcrossWorkerCounts(t *testing.T) {
 	x, y := smoothData(4, 60)
 	cfg1 := Config{Method: Multiple, Seed: 7, EpochScale: 0.3, Workers: 1}
 	cfg4 := Config{Method: Multiple, Seed: 7, EpochScale: 0.3, Workers: 4}
-	m1, err := Train(x, y, cfg1)
+	m1, err := Train(context.Background(), x, y, cfg1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m4, err := Train(x, y, cfg4)
+	m4, err := Train(context.Background(), x, y, cfg4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,34 +88,34 @@ func TestTrainMultipleDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestTrainValidation(t *testing.T) {
-	if _, err := Train(nil, nil, trainCfg(Quick)); err == nil {
+	if _, err := Train(context.Background(), nil, nil, trainCfg(Quick)); err == nil {
 		t.Fatal("no data: want error")
 	}
-	if _, err := Train([][]float64{{1}}, []float64{1, 2}, trainCfg(Quick)); err == nil {
+	if _, err := Train(context.Background(), [][]float64{{1}}, []float64{1, 2}, trainCfg(Quick)); err == nil {
 		t.Fatal("mismatch: want error")
 	}
-	if _, err := Train([][]float64{{}, {}, {}, {}}, []float64{1, 2, 3, 4}, trainCfg(Quick)); err == nil {
+	if _, err := Train(context.Background(), [][]float64{{}, {}, {}, {}}, []float64{1, 2, 3, 4}, trainCfg(Quick)); err == nil {
 		t.Fatal("zero-width: want error")
 	}
-	if _, err := Train([][]float64{{1}, {2, 3}, {4}, {5}}, []float64{1, 2, 3, 4}, trainCfg(Quick)); err == nil {
+	if _, err := Train(context.Background(), [][]float64{{1}, {2, 3}, {4}, {5}}, []float64{1, 2, 3, 4}, trainCfg(Quick)); err == nil {
 		t.Fatal("ragged: want error")
 	}
-	if _, err := Train([][]float64{{1}, {2}}, []float64{1, 2}, trainCfg(Quick)); err == nil {
+	if _, err := Train(context.Background(), [][]float64{{1}, {2}}, []float64{1, 2}, trainCfg(Quick)); err == nil {
 		t.Fatal("too few records: want error")
 	}
 	x, y := smoothData(5, 20)
-	if _, err := Train(x, y, Config{Method: Method(42), Seed: 1}); err == nil {
+	if _, err := Train(context.Background(), x, y, Config{Method: Method(42), Seed: 1}); err == nil {
 		t.Fatal("unknown method: want error")
 	}
 }
 
 func TestSingleHasSmallerHiddenLayerThanQuick(t *testing.T) {
 	x, y := smoothData(6, 80)
-	ms, err := Train(x, y, trainCfg(Single))
+	ms, err := Train(context.Background(), x, y, trainCfg(Single))
 	if err != nil {
 		t.Fatal(err)
 	}
-	mq, err := Train(x, y, trainCfg(Quick))
+	mq, err := Train(context.Background(), x, y, trainCfg(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestPruneShrinksNetwork(t *testing.T) {
 		x[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
 		y[i] = 0.2 + 0.6*x[i][0]
 	}
-	model, err := Train(x, y, trainCfg(Prune))
+	model, err := Train(context.Background(), x, y, trainCfg(Prune))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +170,11 @@ func TestExhaustivePruneBeatsSingleOnComplexSurface(t *testing.T) {
 		}
 		return s / float64(len(xt))
 	}
-	me, err := Train(x, y, Config{Method: ExhaustivePrune, Seed: 21, EpochScale: 0.5, Workers: 4})
+	me, err := Train(context.Background(), x, y, Config{Method: ExhaustivePrune, Seed: 21, EpochScale: 0.5, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, err := Train(x, y, Config{Method: Single, Seed: 21, EpochScale: 0.5, Workers: 4})
+	ms, err := Train(context.Background(), x, y, Config{Method: Single, Seed: 21, EpochScale: 0.5, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,14 +185,14 @@ func TestExhaustivePruneBeatsSingleOnComplexSurface(t *testing.T) {
 
 func TestValidationMSEReported(t *testing.T) {
 	x, y := smoothData(10, 80)
-	mm, err := Train(x, y, trainCfg(Multiple))
+	mm, err := Train(context.Background(), x, y, trainCfg(Multiple))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.IsNaN(mm.ValidationMSE()) || mm.ValidationMSE() < 0 {
 		t.Fatalf("Multiple should report a validation MSE, got %v", mm.ValidationMSE())
 	}
-	msingle, err := Train(x, y, trainCfg(Single))
+	msingle, err := Train(context.Background(), x, y, trainCfg(Single))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,21 +216,9 @@ func TestMethodString(t *testing.T) {
 	}
 }
 
-func TestParallelForCoversAllIndices(t *testing.T) {
-	for _, workers := range []int{1, 3, 8} {
-		hit := make([]bool, 20)
-		parallelFor(len(hit), workers, func(i int) { hit[i] = true })
-		for i, h := range hit {
-			if !h {
-				t.Fatalf("workers=%d: index %d not visited", workers, i)
-			}
-		}
-	}
-}
-
 func TestPredictAll(t *testing.T) {
 	x, y := smoothData(11, 40)
-	m, err := Train(x, y, trainCfg(Single))
+	m, err := Train(context.Background(), x, y, trainCfg(Single))
 	if err != nil {
 		t.Fatal(err)
 	}

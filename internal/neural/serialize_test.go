@@ -1,6 +1,7 @@
 package neural
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"testing"
@@ -9,7 +10,7 @@ import (
 func TestModelSerializeRoundTrip(t *testing.T) {
 	x, y := smoothData(41, 100)
 	for _, method := range []Method{Quick, Single, Prune} {
-		m, err := Train(x, y, Config{Method: method, Seed: 3, EpochScale: 0.3})
+		m, err := Train(context.Background(), x, y, Config{Method: method, Seed: 3, EpochScale: 0.3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,7 +39,7 @@ func TestModelSerializeRoundTrip(t *testing.T) {
 
 func TestSerializePreservesFrozenInputs(t *testing.T) {
 	x, y := smoothData(42, 80)
-	m, err := Train(x, y, Config{Method: Single, Seed: 4, EpochScale: 0.3})
+	m, err := Train(context.Background(), x, y, Config{Method: Single, Seed: 4, EpochScale: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 package neural
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
+
+	"perfpred/internal/engine"
 )
 
 // sgdOptions configures one backpropagation run.
@@ -16,12 +19,26 @@ type sgdOptions struct {
 	// MSE improvement of at least minDelta (0 disables early stopping).
 	patience int
 	minDelta float64
+	// hook, if non-nil, observes epoch-granularity progress under label.
+	hook  engine.Hook
+	label string
+}
+
+// progressStride returns how often (in epochs) to emit progress events —
+// roughly eight per run, never more than one per epoch.
+func (o sgdOptions) progressStride() int {
+	s := o.epochs / 8
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // trainSGD runs stochastic backpropagation with momentum on (x, y).
 // It shuffles per epoch with r and respects frozen inputs. Returns the
-// final training MSE.
-func (n *Network) trainSGD(x [][]float64, y [][]float64, opts sgdOptions, r *rand.Rand) (float64, error) {
+// final training MSE. The epoch loop checks ctx each iteration, so a hung
+// or oversized training run (an NN-E prune, say) can be aborted promptly.
+func (n *Network) trainSGD(ctx context.Context, x [][]float64, y [][]float64, opts sgdOptions, r *rand.Rand) (float64, error) {
 	if len(x) == 0 {
 		return 0, errors.New("neural: no training data")
 	}
@@ -61,7 +78,17 @@ func (n *Network) trainSGD(x [][]float64, y [][]float64, opts sgdOptions, r *ran
 	best := math.Inf(1)
 	stale := 0
 	mse := math.Inf(1)
+	stride := opts.progressStride()
 	for epoch := 0; epoch < opts.epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return mse, err
+		}
+		if opts.hook != nil && epoch%stride == 0 {
+			opts.hook.Emit(engine.Event{
+				Kind: engine.EpochProgress, Label: opts.label, Fold: -1,
+				Epoch: epoch, Epochs: opts.epochs,
+			})
+		}
 		lr := opts.lr
 		if opts.lrFinal > 0 && opts.epochs > 1 {
 			// Geometric decay from lr to lrFinal across the run.

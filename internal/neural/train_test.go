@@ -1,6 +1,7 @@
 package neural
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -20,7 +21,7 @@ func TestTrainSGDLearnsXOR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mse, err := n.trainSGD(x, toColumn(y), sgdOptions{
+	mse, err := n.trainSGD(context.Background(), x, toColumn(y), sgdOptions{
 		epochs: 4000, lr: 0.6, momentum: 0.9,
 	}, rand.New(rand.NewSource(4)))
 	if err != nil {
@@ -48,7 +49,7 @@ func TestTrainSGDLinearFunction(t *testing.T) {
 		y[i] = 0.2 + 0.5*v
 	}
 	n, _ := NewNetwork([]int{1, 3, 1}, Sigmoid, Sigmoid, r)
-	mse, err := n.trainSGD(x, toColumn(y), sgdOptions{
+	mse, err := n.trainSGD(context.Background(), x, toColumn(y), sgdOptions{
 		epochs: 1500, lr: 0.5, lrFinal: 0.05, momentum: 0.9,
 	}, rand.New(rand.NewSource(6)))
 	if err != nil {
@@ -62,20 +63,20 @@ func TestTrainSGDLinearFunction(t *testing.T) {
 func TestTrainSGDValidation(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	n, _ := NewNetwork([]int{1, 2, 1}, Sigmoid, Sigmoid, r)
-	if _, err := n.trainSGD(nil, nil, sgdOptions{epochs: 10, lr: 0.1}, r); err == nil {
+	if _, err := n.trainSGD(context.Background(), nil, nil, sgdOptions{epochs: 10, lr: 0.1}, r); err == nil {
 		t.Fatal("no data: want error")
 	}
-	if _, err := n.trainSGD([][]float64{{1}}, nil, sgdOptions{epochs: 10, lr: 0.1}, r); err == nil {
+	if _, err := n.trainSGD(context.Background(), [][]float64{{1}}, nil, sgdOptions{epochs: 10, lr: 0.1}, r); err == nil {
 		t.Fatal("x/y mismatch: want error")
 	}
-	if _, err := n.trainSGD([][]float64{{1}}, [][]float64{{1}}, sgdOptions{epochs: 0, lr: 0.1}, r); err == nil {
+	if _, err := n.trainSGD(context.Background(), [][]float64{{1}}, [][]float64{{1}}, sgdOptions{epochs: 0, lr: 0.1}, r); err == nil {
 		t.Fatal("zero epochs: want error")
 	}
-	if _, err := n.trainSGD([][]float64{{1}}, [][]float64{{1}}, sgdOptions{epochs: 5, lr: 0}, r); err == nil {
+	if _, err := n.trainSGD(context.Background(), [][]float64{{1}}, [][]float64{{1}}, sgdOptions{epochs: 5, lr: 0}, r); err == nil {
 		t.Fatal("zero lr: want error")
 	}
 	hl, _ := NewNetwork([]int{1, 2, 1}, HardLimit, Linear, r)
-	if _, err := hl.trainSGD([][]float64{{1}}, [][]float64{{1}}, sgdOptions{epochs: 5, lr: 0.1}, r); err == nil {
+	if _, err := hl.trainSGD(context.Background(), [][]float64{{1}}, [][]float64{{1}}, sgdOptions{epochs: 5, lr: 0.1}, r); err == nil {
 		t.Fatal("hard-limit training: want error")
 	}
 }
@@ -87,7 +88,7 @@ func TestTrainSGDEarlyStopping(t *testing.T) {
 	x := [][]float64{{0}, {0.5}, {1}, {0.25}, {0.75}, {0.1}}
 	y := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5} // constant target converges fast
 	n, _ := NewNetwork([]int{1, 2, 1}, Sigmoid, Sigmoid, r)
-	mse, err := n.trainSGD(x, toColumn(y), sgdOptions{
+	mse, err := n.trainSGD(context.Background(), x, toColumn(y), sgdOptions{
 		epochs: 1_000_000, lr: 0.5, momentum: 0.5, patience: 10, minDelta: 1e-9,
 	}, rand.New(rand.NewSource(9)))
 	if err != nil {
@@ -105,7 +106,7 @@ func TestFrozenInputStaysZeroThroughTraining(t *testing.T) {
 	if err := n.FreezeInput(1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.trainSGD(x, toColumn(y), sgdOptions{epochs: 200, lr: 0.4, momentum: 0.9}, rand.New(rand.NewSource(11))); err != nil {
+	if _, err := n.trainSGD(context.Background(), x, toColumn(y), sgdOptions{epochs: 200, lr: 0.4, momentum: 0.9}, rand.New(rand.NewSource(11))); err != nil {
 		t.Fatal(err)
 	}
 	for i := range n.layers[0].w {
@@ -119,7 +120,7 @@ func TestTrainingIsDeterministicGivenSeeds(t *testing.T) {
 	x, y := xorData()
 	run := func() float64 {
 		n, _ := NewNetwork([]int{2, 4, 1}, Sigmoid, Sigmoid, rand.New(rand.NewSource(12)))
-		_, err := n.trainSGD(x, toColumn(y), sgdOptions{epochs: 300, lr: 0.5, momentum: 0.9}, rand.New(rand.NewSource(13)))
+		_, err := n.trainSGD(context.Background(), x, toColumn(y), sgdOptions{epochs: 300, lr: 0.5, momentum: 0.9}, rand.New(rand.NewSource(13)))
 		if err != nil {
 			t.Fatal(err)
 		}

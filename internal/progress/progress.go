@@ -1,0 +1,42 @@
+// Package progress renders execution-engine events as human-readable log
+// lines — the implementation behind the cmd tools' -v flags. It is a thin
+// consumer of the engine's Hook interface; anything it can do (timing
+// breakdowns, per-model progress, epoch counters) is equally available to
+// future metrics exporters.
+package progress
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"perfpred/internal/engine"
+)
+
+// Hook returns an engine hook that writes one line per completed task
+// (label, outcome, duration) to w. When epochs is true it also reports
+// neural epoch progress (roughly eight lines per training run) — chatty,
+// but useful to watch a slow NN-E prune move. The hook serializes writes
+// and is safe for concurrent use.
+func Hook(w io.Writer, epochs bool) engine.Hook {
+	var mu sync.Mutex
+	return func(e engine.Event) {
+		switch e.Kind {
+		case engine.TaskDone:
+			mu.Lock()
+			fmt.Fprintf(w, "done %-40s %8.2fs\n", e.Label, e.Elapsed.Seconds())
+			mu.Unlock()
+		case engine.TaskFailed:
+			mu.Lock()
+			fmt.Fprintf(w, "FAIL %-40s %8.2fs: %v\n", e.Label, e.Elapsed.Seconds(), e.Err)
+			mu.Unlock()
+		case engine.EpochProgress:
+			if !epochs || e.Epochs == 0 {
+				return
+			}
+			mu.Lock()
+			fmt.Fprintf(w, "  .. %-40s epoch %d/%d\n", e.Label, e.Epoch, e.Epochs)
+			mu.Unlock()
+		}
+	}
+}

@@ -1,76 +1,48 @@
 package space
 
 import (
+	"context"
 	"errors"
-	"runtime"
-	"sync"
 
 	"perfpred/internal/cpu"
+	"perfpred/internal/engine"
 )
 
-// Sweep simulates every configuration against the evaluator's trace using
-// up to workers goroutines (0 means GOMAXPROCS) and returns the cycle count
-// per configuration, index-aligned with cfgs. The result is deterministic
-// regardless of worker count: the evaluator memoizes substrate passes and
-// the pipeline combine step is pure.
-func Sweep(eval *cpu.Evaluator, cfgs []MicroConfig, workers int) ([]float64, error) {
+// sweepBatch is how many configurations one sweep task simulates; small
+// enough to load-balance across heterogeneous configurations, large enough
+// to amortize scheduling.
+const sweepBatch = 16
+
+// Sweep simulates every configuration against the evaluator's trace as a
+// chunked parallel map on the engine pool, using up to workers goroutines
+// (0 means GOMAXPROCS), and returns the cycle count per configuration,
+// index-aligned with cfgs. The result is deterministic regardless of worker
+// count: the evaluator memoizes substrate passes and the pipeline combine
+// step is pure. Cancelling ctx aborts the sweep between configurations.
+func Sweep(ctx context.Context, eval *cpu.Evaluator, cfgs []MicroConfig, workers int) ([]float64, error) {
 	if eval == nil {
 		return nil, errors.New("space: nil evaluator")
 	}
 	if len(cfgs) == 0 {
 		return nil, errors.New("space: no configurations to sweep")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cfgs) {
-		workers = len(cfgs)
-	}
 	cycles := make([]float64, len(cfgs))
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	var next int64
-	var mu sync.Mutex
-	takeBatch := func() (int, int) {
-		const batch = 16
-		mu.Lock()
-		defer mu.Unlock()
-		lo := int(next)
-		if lo >= len(cfgs) {
-			return 0, 0
-		}
-		hi := lo + batch
-		if hi > len(cfgs) {
-			hi = len(cfgs)
-		}
-		next = int64(hi)
-		return lo, hi
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				lo, hi := takeBatch()
-				if lo == hi {
-					return
+	err := engine.Map(ctx, engine.Options{Workers: workers}, len(cfgs), sweepBatch, "sweep",
+		func(ctx context.Context, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
 				}
-				for i := lo; i < hi; i++ {
-					res, err := eval.Simulate(cfgs[i].CPUConfig())
-					if err != nil {
-						errs[w] = err
-						return
-					}
-					cycles[i] = res.Cycles
+				res, err := eval.Simulate(cfgs[i].CPUConfig())
+				if err != nil {
+					return err
 				}
+				cycles[i] = res.Cycles
 			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return cycles, nil
 }

@@ -1,6 +1,7 @@
 package space
 
 import (
+	"context"
 	"testing"
 
 	"perfpred/internal/cpu"
@@ -28,11 +29,11 @@ func sweepTrace(t *testing.T, name string, n int) *cpu.Evaluator {
 func TestSweepSubsetDeterministicAcrossWorkers(t *testing.T) {
 	e := sweepTrace(t, "gcc", 8000)
 	cfgs := Enumerate()[:128]
-	c1, err := Sweep(e, cfgs, 1)
+	c1, err := Sweep(context.Background(), e, cfgs, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c8, err := Sweep(sweepTrace(t, "gcc", 8000), cfgs, 8)
+	c8, err := Sweep(context.Background(), sweepTrace(t, "gcc", 8000), cfgs, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestSweepSubsetDeterministicAcrossWorkers(t *testing.T) {
 func TestSweepAllPositive(t *testing.T) {
 	e := sweepTrace(t, "mesa", 8000)
 	cfgs := Enumerate()[:256]
-	cycles, err := Sweep(e, cfgs, 0)
+	cycles, err := Sweep(context.Background(), e, cfgs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +59,11 @@ func TestSweepAllPositive(t *testing.T) {
 }
 
 func TestSweepErrors(t *testing.T) {
-	if _, err := Sweep(nil, Enumerate()[:1], 1); err == nil {
+	if _, err := Sweep(context.Background(), nil, Enumerate()[:1], 1); err == nil {
 		t.Fatal("nil evaluator: want error")
 	}
 	e := sweepTrace(t, "gcc", 2000)
-	if _, err := Sweep(e, nil, 1); err == nil {
+	if _, err := Sweep(context.Background(), e, nil, 1); err == nil {
 		t.Fatal("no configs: want error")
 	}
 }
@@ -91,7 +92,7 @@ func TestWorkloadCalibration(t *testing.T) {
 			t.Fatal(err)
 		}
 		e := sweepTrace(t, name, p.SimLen)
-		cycles, err := Sweep(e, cfgs, 0)
+		cycles, err := Sweep(context.Background(), e, cfgs, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

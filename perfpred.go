@@ -32,10 +32,12 @@
 package perfpred
 
 import (
+	"context"
 	"io"
 
 	"perfpred/internal/core"
 	"perfpred/internal/dataset"
+	"perfpred/internal/engine"
 	"perfpred/internal/specdata"
 )
 
@@ -120,15 +122,40 @@ func NewSchema(target string, fields ...Field) (*Schema, error) {
 func NewDataset(s *Schema) *Dataset { return dataset.New(s) }
 
 // TrainConfig configures model training (seed, parallelism, neural epoch
-// scaling).
+// scaling, instrumentation hook).
 type TrainConfig = core.TrainConfig
+
+// Hook observes execution-engine events (task start/finish, durations,
+// fold indices, neural epoch progress). Set one on TrainConfig.Hook to get
+// live progress from any workflow; hooks are called concurrently and must
+// be safe for concurrent use.
+type Hook = engine.Hook
+
+// Event is one structured execution-engine observation.
+type Event = engine.Event
+
+// EventKind classifies an Event.
+type EventKind = engine.EventKind
+
+// Event kinds.
+const (
+	// TaskStart fires when a pool task begins executing.
+	TaskStart = engine.TaskStart
+	// TaskDone fires when a pool task completes successfully.
+	TaskDone = engine.TaskDone
+	// TaskFailed fires when a pool task returns an error or panics.
+	TaskFailed = engine.TaskFailed
+	// EpochProgress reports neural-network training progress.
+	EpochProgress = engine.EpochProgress
+)
 
 // Predictor is a trained model bound to its input encoder.
 type Predictor = core.Predictor
 
-// Train fits one model kind on a training dataset.
-func Train(kind ModelKind, train *Dataset, cfg TrainConfig) (*Predictor, error) {
-	return core.Train(kind, train, cfg)
+// Train fits one model kind on a training dataset. Cancelling ctx aborts
+// training promptly.
+func Train(ctx context.Context, kind ModelKind, train *Dataset, cfg TrainConfig) (*Predictor, error) {
+	return core.Train(ctx, kind, train, cfg)
 }
 
 // LoadPredictor restores a predictor previously written with
@@ -158,8 +185,8 @@ type ErrorEstimate = core.ErrorEstimate
 
 // EstimateError predicts a model's error from training data alone using
 // the paper's five half-split cross-validation folds.
-func EstimateError(kind ModelKind, train *Dataset, cfg TrainConfig) (ErrorEstimate, error) {
-	return core.EstimateError(kind, train, cfg)
+func EstimateError(ctx context.Context, kind ModelKind, train *Dataset, cfg TrainConfig) (ErrorEstimate, error) {
+	return core.EstimateError(ctx, kind, train, cfg)
 }
 
 // ModelReport carries one model's estimated and measured quality.
@@ -171,18 +198,19 @@ type SampledDSEResult = core.SampledDSEResult
 // RunSampledDSE samples the given fraction of a full design-space dataset,
 // trains the requested models, estimates their errors by cross-validation,
 // measures true errors against the whole space and applies the Select rule
-// (paper Figure 1a, §4.2).
-func RunSampledDSE(full *Dataset, fraction float64, kinds []ModelKind, cfg TrainConfig) (*SampledDSEResult, error) {
-	return core.RunSampledDSE(full, fraction, kinds, cfg)
+// (paper Figure 1a, §4.2). Cancelling ctx aborts the run promptly.
+func RunSampledDSE(ctx context.Context, full *Dataset, fraction float64, kinds []ModelKind, cfg TrainConfig) (*SampledDSEResult, error) {
+	return core.RunSampledDSE(ctx, full, fraction, kinds, cfg)
 }
 
 // ChronoResult is one chronological prediction outcome.
 type ChronoResult = core.ChronoResult
 
 // RunChronological trains models on one year's systems and evaluates them
-// on the following year's (paper Figure 1b, §4.3).
-func RunChronological(train, future *Dataset, kinds []ModelKind, cfg TrainConfig) (*ChronoResult, error) {
-	return core.RunChronological(train, future, kinds, cfg)
+// on the following year's (paper Figure 1b, §4.3). Cancelling ctx aborts
+// the run promptly.
+func RunChronological(ctx context.Context, train, future *Dataset, kinds []ModelKind, cfg TrainConfig) (*ChronoResult, error) {
+	return core.RunChronological(ctx, train, future, kinds, cfg)
 }
 
 // FieldImportance is one field's relative influence on a model (§4.4).

@@ -1,6 +1,7 @@
 package perfpred
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -15,14 +16,14 @@ func fastTrain() TrainConfig {
 }
 
 func TestPublicEndToEndSampledDSE(t *testing.T) {
-	full, err := SimulateDesignSpace("applu", fastSim())
+	full, err := SimulateDesignSpace(context.Background(), "applu", fastSim())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if full.Len() != 96 {
 		t.Fatalf("space size %d", full.Len())
 	}
-	res, err := RunSampledDSE(full, 0.25, SampledModels(), fastTrain())
+	res, err := RunSampledDSE(context.Background(), full, 0.25, SampledModels(), fastTrain())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestPublicEndToEndChronological(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunChronological(train, future, []ModelKind{LRE, NNS}, fastTrain())
+	res, err := RunChronological(context.Background(), train, future, []ModelKind{LRE, NNS}, fastTrain())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestPublicCustomSchemaFlow(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	p, err := Train(NNQ, ds, fastTrain())
+	p, err := Train(context.Background(), NNQ, ds, fastTrain())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestPublicCustomSchemaFlow(t *testing.T) {
 	if math.Abs(got-want)/want > 0.35 {
 		t.Fatalf("prediction %.2f far from %.2f", got, want)
 	}
-	est, err := EstimateError(NNQ, ds, fastTrain())
+	est, err := EstimateError(context.Background(), NNQ, ds, fastTrain())
 	if err != nil {
 		t.Fatal(err)
 	}

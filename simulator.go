@@ -1,6 +1,7 @@
 package perfpred
 
 import (
+	"context"
 	"fmt"
 
 	"perfpred/internal/cpu"
@@ -61,8 +62,8 @@ type SimOptions struct {
 // every configuration of the Table 1 design space (or a systematic
 // subsample) on the cycle-approximate simulator and returns the resulting
 // (configuration → cycles) dataset — the ground truth of the sampled-DSE
-// experiments.
-func SimulateDesignSpace(benchmark string, opts SimOptions) (*Dataset, error) {
+// experiments. Cancelling ctx aborts the sweep between configurations.
+func SimulateDesignSpace(ctx context.Context, benchmark string, opts SimOptions) (*Dataset, error) {
 	prof, err := trace.ProfileByName(benchmark)
 	if err != nil {
 		return nil, err
@@ -91,7 +92,7 @@ func SimulateDesignSpace(benchmark string, opts SimOptions) (*Dataset, error) {
 		}
 		cfgs = sub
 	}
-	cycles, err := space.Sweep(eval, cfgs, opts.Workers)
+	cycles, err := space.Sweep(ctx, eval, cfgs, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
