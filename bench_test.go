@@ -18,6 +18,7 @@ import (
 
 	"perfpred/internal/core"
 	"perfpred/internal/cpu"
+	"perfpred/internal/engine"
 	"perfpred/internal/experiments"
 	"perfpred/internal/linreg"
 	"perfpred/internal/neural"
@@ -245,7 +246,7 @@ func BenchmarkEvaluatorMemoizedSweep(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := space.Sweep(context.Background(), eval, cfgs, 0); err != nil {
+		if _, err := space.Sweep(context.Background(), eval, cfgs, engine.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"perfpred/internal/cpu"
+	"perfpred/internal/engine"
 	"perfpred/internal/space"
 	"perfpred/internal/stat"
 	"perfpred/internal/trace"
@@ -70,7 +71,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cycles, err := space.Sweep(context.Background(), eval, cfgs, 0)
+		cycles, err := space.Sweep(context.Background(), eval, cfgs, engine.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"perfpred"
 	"perfpred/internal/progress"
@@ -31,6 +32,8 @@ func main() {
 	epochs := flag.Float64("epochs", 1.0, "neural epoch scale")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	verbose := flag.Bool("v", false, "log per-task progress (durations, folds, epochs)")
+	report := flag.String("report", "", "write a machine-readable JSON RunReport to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (expvar /debug/vars, pprof /debug/pprof, JSON /metrics), e.g. localhost:6060")
 	list := flag.Bool("list", false, "list available families and models")
 	flag.Parse()
 
@@ -40,9 +43,17 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	var hook perfpred.Hook
+	rec := perfpred.NewRecorder()
+	hook := rec.Hook()
 	if *verbose {
-		hook = progress.Hook(os.Stderr, false)
+		hook = progress.New(os.Stderr, false, rec).Hook()
+	}
+	if *metricsAddr != "" {
+		addr, _, err := perfpred.StartMetricsServer(*metricsAddr, rec.Registry())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/debug/vars\n", addr)
 	}
 
 	if *list {
@@ -86,12 +97,14 @@ func main() {
 	fmt.Printf("%s: training on %d systems announced in 2005, predicting %d systems of 2006\n",
 		*family, train.Len(), future.Len())
 
+	start := time.Now()
 	res, err := perfpred.RunChronological(ctx, train, future, kinds, perfpred.TrainConfig{
 		Seed: *seed, Workers: *workers, EpochScale: *epochs, Hook: hook,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	finished := time.Now()
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "model\terror%\t±stddev\testimate(max)")
@@ -103,4 +116,22 @@ func main() {
 	}
 	fmt.Printf("\nbest on 2006: %v (%.2f%%); selected from 2005 estimates alone: %v (%.2f%%)\n",
 		res.Best, res.BestTrueMAPE, res.Selected, res.SelectedTrueMAPE)
+
+	if *report != "" {
+		rep := perfpred.BuildChronoReport(res, train.Len(), future.Len(), perfpred.ReportMeta{
+			Command:    "chrono",
+			Target:     *family,
+			Seed:       *seed,
+			Workers:    *workers,
+			EpochScale: *epochs,
+			WallClock: perfpred.WallClock{
+				TotalSeconds: finished.Sub(start).Seconds(),
+				ModelSeconds: finished.Sub(start).Seconds(),
+			},
+		}, rec)
+		if err := rep.WriteFile(*report); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report: %s\n", *report)
+	}
 }

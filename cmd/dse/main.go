@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"perfpred"
 	"perfpred/internal/progress"
@@ -36,6 +37,8 @@ func main() {
 	stride := flag.Int("stride", 0, "design-space stride (0 = full space)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	verbose := flag.Bool("v", false, "log per-task progress (durations, folds, epochs)")
+	report := flag.String("report", "", "write a machine-readable JSON RunReport to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (expvar /debug/vars, pprof /debug/pprof, JSON /metrics), e.g. localhost:6060")
 	list := flag.Bool("list", false, "list available benchmarks and models")
 	flag.Parse()
 
@@ -45,9 +48,17 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	var hook perfpred.Hook
+	rec := perfpred.NewRecorder()
+	hook := rec.Hook()
 	if *verbose {
-		hook = progress.Hook(os.Stderr, false)
+		hook = progress.New(os.Stderr, false, rec).Hook()
+	}
+	if *metricsAddr != "" {
+		addr, _, err := perfpred.StartMetricsServer(*metricsAddr, rec.Registry())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/debug/vars\n", addr)
 	}
 
 	if *list {
@@ -65,12 +76,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("simulating design space for %s...\n", *bench)
+	start := time.Now()
 	full, err := perfpred.SimulateDesignSpace(ctx, *bench, perfpred.SimOptions{
-		TraceLen: *traceLen, Seed: *seed, Workers: *workers, Stride: *stride,
+		TraceLen: *traceLen, Seed: *seed, Workers: *workers, Stride: *stride, Hook: hook,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	simulated := time.Now()
 	fmt.Printf("space: %d configurations; sampling %.1f%%\n", full.Len(), 100**frac)
 
 	res, err := perfpred.RunSampledDSE(ctx, full, *frac, kinds, perfpred.TrainConfig{
@@ -79,6 +92,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	finished := time.Now()
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "model\testimated(mean)\testimated(max)\ttrue error")
@@ -91,6 +105,26 @@ func main() {
 	}
 	fmt.Printf("\nselected (by estimate): %v — true error %.2f%% using %d simulated points of %d\n",
 		res.Selected, res.SelectedTrueMAPE, res.SampleSize, full.Len())
+
+	if *report != "" {
+		rep := perfpred.BuildDSEReport(res, perfpred.ReportMeta{
+			Command:    "dse",
+			Target:     *bench,
+			Seed:       *seed,
+			Workers:    *workers,
+			EpochScale: *epochs,
+			SpaceSize:  full.Len(),
+			WallClock: perfpred.WallClock{
+				TotalSeconds:    finished.Sub(start).Seconds(),
+				SimulateSeconds: simulated.Sub(start).Seconds(),
+				ModelSeconds:    finished.Sub(simulated).Seconds(),
+			},
+		}, rec)
+		if err := rep.WriteFile(*report); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report: %s\n", *report)
+	}
 }
 
 func parseModels(s string) ([]perfpred.ModelKind, error) {

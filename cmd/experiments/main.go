@@ -23,10 +23,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"perfpred/internal/core"
-	"perfpred/internal/engine"
 	"perfpred/internal/experiments"
+	"perfpred/internal/obs"
 	"perfpred/internal/progress"
 	"perfpred/internal/space"
 	"perfpred/internal/trace"
@@ -45,6 +46,8 @@ func main() {
 	stride := flag.Int("stride", 0, "design-space stride (0 = full 4608 points)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	verbose := flag.Bool("v", false, "log per-task progress (durations, folds, epochs)")
+	report := flag.String("report", "", "write a machine-readable JSON RunReport (execution statistics) to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (expvar /debug/vars, pprof /debug/pprof, JSON /metrics), e.g. localhost:6060")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -53,10 +56,19 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	var hook engine.Hook
+	rec := obs.NewRecorder()
+	hook := rec.Hook()
 	if *verbose {
-		hook = progress.Hook(os.Stderr, false)
+		hook = progress.New(os.Stderr, false, rec).Hook()
 	}
+	if *metricsAddr != "" {
+		addr, _, err := obs.StartMetricsServer(*metricsAddr, rec.Registry())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/debug/vars\n", addr)
+	}
+	start := time.Now()
 
 	cfg := experiments.Config{
 		Seed:        *seed,
@@ -182,6 +194,29 @@ func main() {
 		}
 		return nil
 	})
+
+	if *report != "" {
+		// Experiment suites span many studies, so the report carries the
+		// run identification and execution statistics (the per-study model
+		// errors are printed in full by each study's text writer).
+		exec := rec.Execution()
+		metrics := rec.Metrics()
+		rep := &obs.RunReport{
+			Version:    obs.ReportVersion,
+			Command:    "experiments",
+			Target:     *exp,
+			Seed:       *seed,
+			Workers:    *workers,
+			EpochScale: *epochs,
+			WallClock:  obs.WallClock{TotalSeconds: time.Since(start).Seconds()},
+			Execution:  &exec,
+			Metrics:    &metrics,
+		}
+		if err := rep.WriteFile(*report); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report: %s\n", *report)
+	}
 }
 
 func parseFracs(s string) ([]float64, error) {

@@ -48,6 +48,10 @@ type Predictor struct {
 	enc  *dataset.Encoder
 	lr   *linreg.Model
 	nn   *neural.Model
+	// hook carries the training config's observability hook so batch
+	// prediction fan-outs report to the same stream as training did.
+	// Never affects results; nil on deserialized predictors.
+	hook engine.Hook
 }
 
 // Train fits a model of the given kind on the training dataset, handling
@@ -73,7 +77,7 @@ func Train(ctx context.Context, kind ModelKind, train *dataset.Dataset, cfg Trai
 		if err != nil {
 			return nil, fmt.Errorf("core: fitting %v: %w", kind, err)
 		}
-		return &Predictor{kind: kind, enc: enc, lr: model}, nil
+		return &Predictor{kind: kind, enc: enc, lr: model, hook: cfg.Hook}, nil
 	}
 	m, ok := kind.nnMethod()
 	if !ok {
@@ -97,7 +101,7 @@ func Train(ctx context.Context, kind ModelKind, train *dataset.Dataset, cfg Trai
 	if err != nil {
 		return nil, fmt.Errorf("core: training %v: %w", kind, err)
 	}
-	return &Predictor{kind: kind, enc: enc, nn: model}, nil
+	return &Predictor{kind: kind, enc: enc, nn: model, hook: cfg.Hook}, nil
 }
 
 // Kind returns the model kind.
@@ -155,7 +159,7 @@ func (p *Predictor) PredictDataset(ctx context.Context, d *dataset.Dataset) ([]f
 		}
 		return out, nil
 	}
-	err := engine.Map(ctx, engine.Options{}, d.Len(), predictChunk, "predict "+p.kind.String(), score)
+	err := engine.Map(ctx, engine.Options{Hook: p.hook}, d.Len(), predictChunk, "predict "+p.kind.String(), score)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSchema builds the fixed schema the CSV fuzzer parses against: one
+// field of each kind plus the target, mirroring the design-space data's
+// shape. Fuzz setup runs under *testing.F, so errors are returned.
+func fuzzSchema() (*Schema, error) {
+	return NewSchema("cycles",
+		Field{Name: "size", Kind: Numeric},
+		Field{Name: "fast", Kind: Flag},
+		Field{Name: "pred", Kind: Categorical},
+	)
+}
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV reader. The reader must
+// never panic; any dataset it accepts must survive a write/read round
+// trip with identical rows and targets. Seed inputs live both here and
+// in testdata/fuzz/FuzzReadCSV (the checked-in corpus).
+func FuzzReadCSV(f *testing.F) {
+	schema, err := fuzzSchema()
+	if err != nil {
+		f.Fatal(err)
+	}
+	// A valid file, produced by the writer itself.
+	d := New(schema)
+	rows := [][]Value{
+		{Num(16), FlagVal(true), Cat("bimodal")},
+		{Num(32.5), FlagVal(false), Cat("2level")},
+		{Num(-4), FlagVal(true), Cat("perfect,quoted")},
+	}
+	for i, row := range rows {
+		if err := d.Append(row, float64(i)*1.5); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var valid bytes.Buffer
+	if err := d.WriteCSV(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("size,fast,pred,cycles\n16,yes,bimodal,100\n"))
+	f.Add([]byte("size,fast,pred,cycles\n16,maybe,bimodal,100\n"))  // bad flag
+	f.Add([]byte("size,fast,pred,cycles\nNaN,yes,bimodal,100\n"))   // NaN numeric
+	f.Add([]byte("size,fast,pred,cycles\n16,yes,bimodal\n"))        // short row
+	f.Add([]byte("wrong,header,entirely,cycles\n1,yes,bimodal,1\n")) // bad header
+	f.Add([]byte("size,fast,pred,cycles\n\"unterminated,yes,b,1\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCSV(bytes.NewReader(data), schema)
+		if err != nil {
+			return // rejected input: only requirement is no panic
+		}
+		// Accepted input must round-trip through the writer.
+		var out bytes.Buffer
+		if err := got.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted dataset failed to write: %v\ninput: %q", err, data)
+		}
+		again, err := ReadCSV(bytes.NewReader(out.Bytes()), schema)
+		if err != nil {
+			// The writer renders flags as yes/no and floats with %g; its
+			// own output must always parse.
+			t.Fatalf("rewritten CSV rejected: %v\nrewritten: %q", err, out.String())
+		}
+		if again.Len() != got.Len() {
+			t.Fatalf("round trip changed length: %d → %d", got.Len(), again.Len())
+		}
+		for i := 0; i < got.Len(); i++ {
+			if got.Target(i) != again.Target(i) && !(got.Target(i) != got.Target(i)) {
+				t.Fatalf("row %d target changed: %v → %v", i, got.Target(i), again.Target(i))
+			}
+			a, b := got.Row(i), again.Row(i)
+			for j := range a {
+				if a[j].String() != b[j].String() {
+					t.Fatalf("row %d field %d changed: %q → %q", i, j, a[j].String(), b[j].String())
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadCSVTargetOnly drills the numeric edge: scientific notation,
+// huge exponents and signs in the target column must parse or reject
+// cleanly, never corrupt.
+func FuzzReadCSVTargetOnly(f *testing.F) {
+	schema, err := fuzzSchema()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("1e308")
+	f.Add("-0")
+	f.Add("0x1p-2")
+	f.Add("1_000")
+	f.Add("Inf")
+	f.Fuzz(func(t *testing.T, target string) {
+		if strings.ContainsAny(target, "\"\r\n,") {
+			return // would change the CSV shape, covered by FuzzReadCSV
+		}
+		csv := "size,fast,pred,cycles\n1,yes,b," + target + "\n"
+		d, err := ReadCSV(strings.NewReader(csv), schema)
+		if err != nil {
+			return
+		}
+		if d.Len() != 1 {
+			t.Fatalf("parsed %d rows, want 1", d.Len())
+		}
+	})
+}

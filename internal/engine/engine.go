@@ -84,6 +84,10 @@ type Event struct {
 	Err error
 	// Elapsed is the task's wall-clock duration for TaskDone/TaskFailed.
 	Elapsed time.Duration
+	// Wait is how long the task sat queued behind the worker budget before
+	// starting — the time from Run submission to TaskStart. Populated on
+	// TaskStart, TaskDone and TaskFailed events.
+	Wait time.Duration
 }
 
 // Hook observes pool events. Hooks may be called concurrently from many
@@ -95,6 +99,29 @@ type Hook func(Event)
 func (h Hook) Emit(e Event) {
 	if h != nil {
 		h(e)
+	}
+}
+
+// Tee fans one event stream out to several hooks, in argument order. Nil
+// hooks are skipped; Tee of zero or one non-nil hook avoids the extra
+// indirection entirely, so it is free to call unconditionally.
+func Tee(hooks ...Hook) Hook {
+	live := make([]Hook, 0, len(hooks))
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(e Event) {
+		for _, h := range live {
+			h(e)
+		}
 	}
 }
 
@@ -159,6 +186,7 @@ func Run(ctx context.Context, opts Options, tasks ...Task) error {
 	}
 	runCtx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
+	enqueued := time.Now()
 
 	workers := opts.workers()
 	if workers > len(tasks) {
@@ -181,7 +209,7 @@ func Run(ctx context.Context, opts Options, tasks ...Task) error {
 					errs[i] = err
 					continue
 				}
-				errs[i] = execute(runCtx, opts.Hook, &tasks[i])
+				errs[i] = execute(runCtx, opts.Hook, &tasks[i], time.Since(enqueued))
 				if errs[i] != nil {
 					cancel(errs[i])
 				}
@@ -210,14 +238,14 @@ func Run(ctx context.Context, opts Options, tasks ...Task) error {
 }
 
 // execute runs one task with panic recovery and lifecycle events.
-func execute(ctx context.Context, hook Hook, t *Task) (err error) {
+func execute(ctx context.Context, hook Hook, t *Task, wait time.Duration) (err error) {
 	start := time.Now()
-	hook.Emit(Event{Kind: TaskStart, Label: t.Label, Model: t.Model, Fold: t.Fold})
+	hook.Emit(Event{Kind: TaskStart, Label: t.Label, Model: t.Model, Fold: t.Fold, Wait: wait})
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
-		e := Event{Kind: TaskDone, Label: t.Label, Model: t.Model, Fold: t.Fold, Elapsed: time.Since(start)}
+		e := Event{Kind: TaskDone, Label: t.Label, Model: t.Model, Fold: t.Fold, Elapsed: time.Since(start), Wait: wait}
 		if err != nil {
 			e.Kind = TaskFailed
 			e.Err = err

@@ -251,3 +251,63 @@ func TestEventKindStrings(t *testing.T) {
 		t.Fatal("unknown kind should still stringify")
 	}
 }
+
+func TestTee(t *testing.T) {
+	var a, b []Event
+	hook := Tee(nil, func(e Event) { a = append(a, e) }, nil, func(e Event) { b = append(b, e) })
+	hook.Emit(Event{Kind: TaskStart, Label: "x"})
+	hook.Emit(Event{Kind: TaskDone, Label: "x"})
+	if len(a) != 2 || len(b) != 2 {
+		t.Errorf("fan-out delivered %d/%d events, want 2/2", len(a), len(b))
+	}
+	if a[0].Kind != TaskStart || b[1].Kind != TaskDone {
+		t.Errorf("events out of order: %v %v", a, b)
+	}
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Error("Tee of no live hooks should be nil")
+	}
+	// Tee of one hook must not wrap (the event path is hot).
+	calls := 0
+	single := func(Event) { calls++ }
+	Tee(nil, single).Emit(Event{})
+	if calls != 1 {
+		t.Errorf("single-hook Tee delivered %d events, want 1", calls)
+	}
+}
+
+func TestEventQueueWait(t *testing.T) {
+	var mu sync.Mutex
+	waits := map[EventKind][]time.Duration{}
+	hook := func(e Event) {
+		mu.Lock()
+		waits[e.Kind] = append(waits[e.Kind], e.Wait)
+		mu.Unlock()
+	}
+	// One worker and a slow first task: the second task's queue wait must
+	// reflect the time it sat behind the first.
+	tasks := []Task{
+		{Label: "slow", Fold: -1, Run: func(context.Context) error {
+			time.Sleep(20 * time.Millisecond)
+			return nil
+		}},
+		{Label: "queued", Fold: -1, Run: func(context.Context) error { return nil }},
+	}
+	if err := Run(context.Background(), Options{Workers: 1, Hook: hook}, tasks...); err != nil {
+		t.Fatal(err)
+	}
+	starts := waits[TaskStart]
+	if len(starts) != 2 {
+		t.Fatalf("%d TaskStart events, want 2", len(starts))
+	}
+	if starts[0] > starts[1] {
+		// Queue order is task order with one worker.
+		starts[0], starts[1] = starts[1], starts[0]
+	}
+	if starts[1] < 15*time.Millisecond {
+		t.Errorf("queued task waited %v, want >= ~20ms behind the slow task", starts[1])
+	}
+	// Completion events carry the same wait as their start.
+	if len(waits[TaskDone]) != 2 {
+		t.Fatalf("%d TaskDone events, want 2", len(waits[TaskDone]))
+	}
+}

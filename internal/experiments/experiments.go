@@ -82,7 +82,7 @@ func groundTruth(ctx context.Context, bench string, cfg Config) (*trace.Trace, [
 		}
 		cfgs = sub
 	}
-	cycles, err := space.Sweep(ctx, eval, cfgs, cfg.Workers)
+	cycles, err := space.Sweep(ctx, eval, cfgs, engine.Options{Workers: cfg.Workers, Hook: cfg.Hook})
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -1,0 +1,241 @@
+// Package obs is the framework's observability layer: a lightweight
+// stdlib-only metrics registry (counters, gauges, timing histograms with
+// exact p50/p95/p99), a [Recorder] that aggregates the execution engine's
+// Hook stream into per-model/per-fold statistics, and a JSON-serializable
+// [RunReport] that captures everything a run produced — model errors, the
+// selection decision, seeds, worker count and a wall-clock breakdown — so
+// experiments leave a machine-readable record instead of scrolled-away
+// console text.
+//
+// The pipeline is: engine.Hook → Recorder → RunReport. The Recorder is a
+// plain hook consumer (attach it with Recorder.Hook, tee it with
+// engine.Tee next to a progress renderer); the registry it maintains can
+// be published over HTTP with [StartMetricsServer] (expvar + pprof).
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can move in either direction (queue
+// depth, worker count). The zero value is ready to use; all methods are
+// safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates float64 observations (typically seconds) and
+// reports exact quantiles. It keeps every sample — runs observe thousands
+// of tasks, not millions, so exactness is cheaper than a sketch and makes
+// the regression tests deterministic. The zero value is ready to use; all
+// methods are safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int64(len(h.samples))
+}
+
+// HistogramStats is an immutable summary of a histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram's samples. An empty histogram yields
+// the zero HistogramStats.
+func (h *Histogram) Snapshot() HistogramStats {
+	h.mu.Lock()
+	sorted := append([]float64(nil), h.samples...)
+	sum := h.sum
+	h.mu.Unlock()
+	if len(sorted) == 0 {
+		return HistogramStats{}
+	}
+	sort.Float64s(sorted)
+	return HistogramStats{
+		Count: int64(len(sorted)),
+		Sum:   sum,
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		Mean:  sum / float64(len(sorted)),
+		P50:   quantileSorted(sorted, 0.50),
+		P95:   quantileSorted(sorted, 0.95),
+		P99:   quantileSorted(sorted, 0.99),
+	}
+}
+
+// quantileSorted returns the q-quantile of an ascending sample by linear
+// interpolation between closest ranks (the same convention as
+// stat.Quantile, restated here to keep obs dependency-free below engine).
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Registry is a named collection of metrics. Metric accessors are
+// get-or-create and safe for concurrent use, so instrumentation sites
+// never need registration ceremony. Registry implements expvar.Var (its
+// String method renders the snapshot as JSON), so one Publish call exposes
+// every metric on /debug/vars.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricsSnapshot is a point-in-time copy of every metric in a registry,
+// in JSON-friendly form.
+type MetricsSnapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every metric.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := MetricsSnapshot{}
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]int64, len(counters))
+		for k, v := range counters {
+			snap.Counters[k] = v.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(gauges))
+		for k, v := range gauges {
+			snap.Gauges[k] = v.Value()
+		}
+	}
+	if len(hists) > 0 {
+		snap.Histograms = make(map[string]HistogramStats, len(hists))
+		for k, v := range hists {
+			snap.Histograms[k] = v.Snapshot()
+		}
+	}
+	return snap
+}
+
+// String renders the snapshot as JSON, satisfying expvar.Var.
+func (r *Registry) String() string {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	if g.Value() != 0 {
+		t.Errorf("zero gauge = %v, want 0", g.Value())
+	}
+	g.Set(3.25)
+	if g.Value() != 3.25 {
+		t.Errorf("gauge = %v, want 3.25", g.Value())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Errorf("gauge = %v, want -1", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.P99 != 0 {
+		t.Errorf("empty histogram snapshot = %+v", s)
+	}
+	// 1..100: exact quantiles by linear interpolation between closest
+	// ranks: p50 = 50.5, p95 = 95.05, p99 = 99.01.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("count/min/max = %d/%v/%v", s.Count, s.Min, s.Max)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", s.Mean)
+	}
+	for _, tc := range []struct{ got, want float64 }{
+		{s.P50, 50.5}, {s.P95, 95.05}, {s.P99, 99.01},
+	} {
+		if math.Abs(tc.got-tc.want) > 1e-9 {
+			t.Errorf("quantile = %v, want %v", tc.got, tc.want)
+		}
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(7)
+	s := h.Snapshot()
+	if s.P50 != 7 || s.P95 != 7 || s.P99 != 7 || s.Mean != 7 {
+		t.Errorf("single-sample snapshot = %+v", s)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter not idempotent")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge not idempotent")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("Histogram not idempotent")
+	}
+	r.Counter("a").Add(3)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h").Observe(2)
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 3 || snap.Gauges["g"] != 1.5 || snap.Histograms["h"].Count != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	// String must be valid JSON (it backs the expvar and /metrics views).
+	var decoded MetricsSnapshot
+	if err := json.Unmarshal([]byte(r.String()), &decoded); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+	if decoded.Counters["a"] != 3 {
+		t.Errorf("decoded counter = %d, want 3", decoded.Counters["a"])
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(float64(i))
+				r.Gauge("g").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// published is the process-wide registry pointer behind the "perfpred"
+// expvar. expvar names cannot be unpublished, so the var is registered
+// once and indirects through this pointer; re-publishing (tests, repeated
+// servers) just swaps the pointer.
+var (
+	published   atomic.Pointer[Registry]
+	publishOnce sync.Once
+)
+
+// PublishExpvar exposes the registry's snapshot as the process-global
+// expvar "perfpred" (visible on every /debug/vars endpoint). Calling it
+// again replaces the published registry; it never panics on duplicate
+// registration.
+func PublishExpvar(reg *Registry) {
+	published.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("perfpred", expvar.Func(func() any {
+			r := published.Load()
+			if r == nil {
+				return MetricsSnapshot{}
+			}
+			return r.Snapshot()
+		}))
+	})
+}
+
+// MetricsHandler returns an http.Handler serving the observability
+// surface rooted at /debug: expvar on /debug/vars (including the
+// registry, published as "perfpred"), pprof on /debug/pprof/, and the
+// registry alone as compact JSON on /metrics.
+func MetricsHandler(reg *Registry) http.Handler {
+	PublishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, reg.String())
+	})
+	return mux
+}
+
+// StartMetricsServer listens on addr (e.g. "localhost:6060") and serves
+// MetricsHandler in a background goroutine. It returns the bound address
+// (useful with ":0") and a shutdown func. The server lives until the
+// process exits or close is called; serving errors after a successful
+// bind are dropped — metrics are best-effort observability, never a
+// reason to kill an experiment.
+func StartMetricsServer(addr string, reg *Registry) (bound net.Addr, close func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: metrics server: %w", err)
+	}
+	srv := &http.Server{Handler: MetricsHandler(reg)}
+	go srv.Serve(ln) //nolint:errcheck // best-effort background server
+	return ln.Addr(), srv.Close, nil
+}

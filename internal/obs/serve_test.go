@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestMetricsServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricTasksDone).Add(7)
+	addr, shutdown, err := StartMetricsServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	var snap MetricsSnapshot
+	if err := json.Unmarshal([]byte(get("/metrics")), &snap); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v", err)
+	}
+	if snap.Counters[MetricTasksDone] != 7 {
+		t.Errorf("/metrics counter = %d, want 7", snap.Counters[MetricTasksDone])
+	}
+
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, `"perfpred"`) {
+		t.Errorf("/debug/vars missing published registry:\n%.300s", vars)
+	}
+
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%.300s", body)
+	}
+}
+
+// TestPublishExpvarIdempotent re-publishes a second registry: the expvar
+// must repoint, never panic on duplicate registration.
+func TestPublishExpvarIdempotent(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x").Add(1)
+	b.Counter("x").Add(2)
+	PublishExpvar(a)
+	PublishExpvar(b)
+	if got := published.Load(); got != b {
+		t.Error("PublishExpvar did not repoint to the newest registry")
+	}
+}

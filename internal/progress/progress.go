@@ -1,8 +1,9 @@
-// Package progress renders execution-engine events as human-readable log
-// lines — the implementation behind the cmd tools' -v flags. It is a thin
-// consumer of the engine's Hook interface; anything it can do (timing
-// breakdowns, per-model progress, epoch counters) is equally available to
-// future metrics exporters.
+// Package progress renders execution-engine activity as human-readable
+// log lines — the implementation behind the cmd tools' -v flags. It is
+// built on the observability layer's Recorder rather than on raw events:
+// every line's running totals come from the same metrics stream that
+// feeds RunReports, so the console view and the machine-readable record
+// can never disagree.
 package progress
 
 import (
@@ -11,32 +12,69 @@ import (
 	"sync"
 
 	"perfpred/internal/engine"
+	"perfpred/internal/obs"
 )
 
-// Hook returns an engine hook that writes one line per completed task
-// (label, outcome, duration) to w. When epochs is true it also reports
-// neural epoch progress (roughly eight lines per training run) — chatty,
-// but useful to watch a slow NN-E prune move. The hook serializes writes
-// and is safe for concurrent use.
-func Hook(w io.Writer, epochs bool) engine.Hook {
-	var mu sync.Mutex
-	return func(e engine.Event) {
-		switch e.Kind {
-		case engine.TaskDone:
-			mu.Lock()
-			fmt.Fprintf(w, "done %-40s %8.2fs\n", e.Label, e.Elapsed.Seconds())
-			mu.Unlock()
-		case engine.TaskFailed:
-			mu.Lock()
-			fmt.Fprintf(w, "FAIL %-40s %8.2fs: %v\n", e.Label, e.Elapsed.Seconds(), e.Err)
-			mu.Unlock()
-		case engine.EpochProgress:
-			if !epochs || e.Epochs == 0 {
-				return
-			}
-			mu.Lock()
-			fmt.Fprintf(w, "  .. %-40s epoch %d/%d\n", e.Label, e.Epoch, e.Epochs)
-			mu.Unlock()
-		}
+// Reporter renders progress lines from a metrics stream. Create one with
+// New, attach Reporter.Hook() wherever an engine.Hook is accepted, and
+// (optionally) share its Recorder with a RunReport builder.
+type Reporter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	epochs bool
+	rec    *obs.Recorder
+}
+
+// New returns a Reporter writing to w. When epochs is true it also
+// reports neural epoch progress (roughly eight lines per training run) —
+// chatty, but useful to watch a slow NN-E prune move. rec is the
+// recorder whose metrics the lines quote; pass nil to create a private
+// one. The reporter serializes writes and is safe for concurrent use.
+func New(w io.Writer, epochs bool, rec *obs.Recorder) *Reporter {
+	if rec == nil {
+		rec = obs.NewRecorder()
 	}
+	return &Reporter{w: w, epochs: epochs, rec: rec}
+}
+
+// Recorder exposes the reporter's backing recorder, e.g. to build a
+// RunReport from the run the reporter narrated.
+func (p *Reporter) Recorder() *obs.Recorder { return p.rec }
+
+// Hook returns the engine hook driving this reporter. Events feed the
+// recorder first and the renderer second, so each line's aggregate
+// counters already include the event it reports.
+func (p *Reporter) Hook() engine.Hook {
+	return engine.Tee(p.rec.Hook(), p.render)
+}
+
+func (p *Reporter) render(e engine.Event) {
+	reg := p.rec.Registry()
+	switch e.Kind {
+	case engine.TaskDone:
+		done := reg.Counter(obs.MetricTasksDone).Value()
+		started := reg.Counter(obs.MetricTasksStarted).Value()
+		p.mu.Lock()
+		fmt.Fprintf(p.w, "done %-40s %8.2fs  [%d/%d tasks]\n", e.Label, e.Elapsed.Seconds(), done, started)
+		p.mu.Unlock()
+	case engine.TaskFailed:
+		failed := reg.Counter(obs.MetricTasksFailed).Value()
+		p.mu.Lock()
+		fmt.Fprintf(p.w, "FAIL %-40s %8.2fs  [%d failed]: %v\n", e.Label, e.Elapsed.Seconds(), failed, e.Err)
+		p.mu.Unlock()
+	case engine.EpochProgress:
+		if !p.epochs || e.Epochs == 0 {
+			return
+		}
+		p.mu.Lock()
+		fmt.Fprintf(p.w, "  .. %-40s epoch %d/%d\n", e.Label, e.Epoch, e.Epochs)
+		p.mu.Unlock()
+	}
+}
+
+// Hook returns a standalone engine hook that writes one line per
+// completed task (label, outcome, duration, running totals) to w — the
+// one-call form of New for callers that don't need the Recorder.
+func Hook(w io.Writer, epochs bool) engine.Hook {
+	return New(w, epochs, nil).Hook()
 }

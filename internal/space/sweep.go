@@ -14,12 +14,14 @@ import (
 const sweepBatch = 16
 
 // Sweep simulates every configuration against the evaluator's trace as a
-// chunked parallel map on the engine pool, using up to workers goroutines
-// (0 means GOMAXPROCS), and returns the cycle count per configuration,
-// index-aligned with cfgs. The result is deterministic regardless of worker
+// chunked parallel map on the engine pool, using up to opts.Workers
+// goroutines (0 means GOMAXPROCS), and returns the cycle count per
+// configuration, index-aligned with cfgs. An opts.Hook observes the sweep's
+// task events ("sweep[lo:hi)" labels) alongside any model-training events
+// sharing the hook. The result is deterministic regardless of worker
 // count: the evaluator memoizes substrate passes and the pipeline combine
 // step is pure. Cancelling ctx aborts the sweep between configurations.
-func Sweep(ctx context.Context, eval *cpu.Evaluator, cfgs []MicroConfig, workers int) ([]float64, error) {
+func Sweep(ctx context.Context, eval *cpu.Evaluator, cfgs []MicroConfig, opts engine.Options) ([]float64, error) {
 	if eval == nil {
 		return nil, errors.New("space: nil evaluator")
 	}
@@ -27,7 +29,7 @@ func Sweep(ctx context.Context, eval *cpu.Evaluator, cfgs []MicroConfig, workers
 		return nil, errors.New("space: no configurations to sweep")
 	}
 	cycles := make([]float64, len(cfgs))
-	err := engine.Map(ctx, engine.Options{Workers: workers}, len(cfgs), sweepBatch, "sweep",
+	err := engine.Map(ctx, opts, len(cfgs), sweepBatch, "sweep",
 		func(ctx context.Context, lo, hi int) error {
 			for i := lo; i < hi; i++ {
 				if err := ctx.Err(); err != nil {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"perfpred/internal/cpu"
+	"perfpred/internal/engine"
 	"perfpred/internal/stat"
 	"perfpred/internal/trace"
 )
@@ -29,11 +30,11 @@ func sweepTrace(t *testing.T, name string, n int) *cpu.Evaluator {
 func TestSweepSubsetDeterministicAcrossWorkers(t *testing.T) {
 	e := sweepTrace(t, "gcc", 8000)
 	cfgs := Enumerate()[:128]
-	c1, err := Sweep(context.Background(), e, cfgs, 1)
+	c1, err := Sweep(context.Background(), e, cfgs, engine.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c8, err := Sweep(context.Background(), sweepTrace(t, "gcc", 8000), cfgs, 8)
+	c8, err := Sweep(context.Background(), sweepTrace(t, "gcc", 8000), cfgs, engine.Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestSweepSubsetDeterministicAcrossWorkers(t *testing.T) {
 func TestSweepAllPositive(t *testing.T) {
 	e := sweepTrace(t, "mesa", 8000)
 	cfgs := Enumerate()[:256]
-	cycles, err := Sweep(context.Background(), e, cfgs, 0)
+	cycles, err := Sweep(context.Background(), e, cfgs, engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +60,11 @@ func TestSweepAllPositive(t *testing.T) {
 }
 
 func TestSweepErrors(t *testing.T) {
-	if _, err := Sweep(context.Background(), nil, Enumerate()[:1], 1); err == nil {
+	if _, err := Sweep(context.Background(), nil, Enumerate()[:1], engine.Options{}); err == nil {
 		t.Fatal("nil evaluator: want error")
 	}
 	e := sweepTrace(t, "gcc", 2000)
-	if _, err := Sweep(context.Background(), e, nil, 1); err == nil {
+	if _, err := Sweep(context.Background(), e, nil, engine.Options{}); err == nil {
 		t.Fatal("no configs: want error")
 	}
 }
@@ -92,7 +93,7 @@ func TestWorkloadCalibration(t *testing.T) {
 			t.Fatal(err)
 		}
 		e := sweepTrace(t, name, p.SimLen)
-		cycles, err := Sweep(context.Background(), e, cfgs, 0)
+		cycles, err := Sweep(context.Background(), e, cfgs, engine.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,173 @@
+package stat
+
+import (
+	"math"
+	"testing"
+)
+
+// Property-based checks over seeded randomized inputs: the paper's error
+// metric must obey its algebraic identities on every sample the framework
+// could conceivably produce, not just on hand-picked vectors.
+
+// randVec draws n values in (lo, hi) from r, never exactly zero.
+func randVec(r interface{ Float64() float64 }, n int, lo, hi float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		v := lo + (hi-lo)*r.Float64()
+		if v == 0 {
+			v = hi / 2
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestMAPEPropertiesRandomized(t *testing.T) {
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		r := NewRand(DeriveSeed(42, trial))
+		n := 1 + r.Intn(64)
+		y := randVec(r, n, 0.5, 1000)
+		yhat := randVec(r, n, -1000, 1000)
+
+		m, err := MAPE(yhat, y)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Non-negativity and finiteness.
+		if m < 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+			t.Fatalf("trial %d: MAPE = %v, want finite non-negative", trial, m)
+		}
+		// Identity: a perfect prediction has zero error.
+		if z, _ := MAPE(y, y); z != 0 {
+			t.Fatalf("trial %d: MAPE(y, y) = %v, want 0", trial, z)
+		}
+		// Scale invariance: MAPE is a relative metric, so scaling both
+		// vectors by any positive constant must not change it.
+		for _, c := range []float64{0.001, 3, 1e6} {
+			cy := make([]float64, n)
+			cyhat := make([]float64, n)
+			for i := range y {
+				cy[i] = c * y[i]
+				cyhat[i] = c * yhat[i]
+			}
+			sm, err := MAPE(cyhat, cy)
+			if err != nil {
+				t.Fatalf("trial %d scale %v: %v", trial, c, err)
+			}
+			if relDiff(sm, m) > 1e-9 {
+				t.Fatalf("trial %d: MAPE not scale invariant at c=%v: %v vs %v", trial, c, sm, m)
+			}
+		}
+		// Agreement with the per-record decomposition: the mean of APEs
+		// equals MAPE when no true value is zero.
+		apes := APEs(yhat, y)
+		if len(apes) != n {
+			t.Fatalf("trial %d: APEs length %d, want %d", trial, len(apes), n)
+		}
+		for i, a := range apes {
+			if a < 0 {
+				t.Fatalf("trial %d: APE[%d] = %v < 0", trial, i, a)
+			}
+		}
+		if relDiff(Mean(apes), m) > 1e-9 {
+			t.Fatalf("trial %d: Mean(APEs) = %v, MAPE = %v", trial, Mean(apes), m)
+		}
+		// Triangle-ish bound: MAPE of a prediction shifted toward truth by
+		// averaging can never exceed the original by more than rounding.
+		mid := make([]float64, n)
+		for i := range y {
+			mid[i] = (yhat[i] + y[i]) / 2
+		}
+		hm, _ := MAPE(mid, y)
+		if hm > m/2+1e-9 {
+			t.Fatalf("trial %d: halfway MAPE %v exceeds half of %v", trial, hm, m)
+		}
+	}
+}
+
+func TestMAPEZeroHandlingRandomized(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		r := NewRand(DeriveSeed(43, trial))
+		n := 2 + r.Intn(32)
+		y := randVec(r, n, 1, 100)
+		yhat := randVec(r, n, 1, 100)
+		// Zero out a random subset of true values; MAPE must equal the
+		// MAPE over the surviving pairs.
+		var keptY, keptYhat []float64
+		for i := range y {
+			if r.Float64() < 0.3 {
+				y[i] = 0
+			} else {
+				keptY = append(keptY, y[i])
+				keptYhat = append(keptYhat, yhat[i])
+			}
+		}
+		got, err := MAPE(yhat, y)
+		if len(keptY) == 0 {
+			if err == nil {
+				t.Fatalf("trial %d: all-zero truth accepted", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, _ := MAPE(keptYhat, keptY)
+		if relDiff(got, want) > 1e-12 {
+			t.Fatalf("trial %d: zero-skipping MAPE %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestDescriptiveIdentitiesRandomized(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		r := NewRand(DeriveSeed(44, trial))
+		n := 1 + r.Intn(128)
+		xs := randVec(r, n, -50, 50)
+		// Variance is non-negative and consistent with StdDev².
+		v := Variance(xs)
+		if v < 0 {
+			t.Fatalf("trial %d: variance %v < 0", trial, v)
+		}
+		if sd := StdDev(xs); relDiff(sd*sd, v) > 1e-9 && v > 1e-12 {
+			t.Fatalf("trial %d: StdDev² %v != Variance %v", trial, sd*sd, v)
+		}
+		// Min ≤ Median ≤ Max, and Mean within [Min, Max].
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		md, err := Median(xs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if md < mn-1e-12 || md > mx+1e-12 {
+			t.Fatalf("trial %d: median %v outside [%v, %v]", trial, md, mn, mx)
+		}
+		if m := Mean(xs); m < mn-1e-9 || m > mx+1e-9 {
+			t.Fatalf("trial %d: mean %v outside [%v, %v]", trial, m, mn, mx)
+		}
+		// Quantile is monotone in q.
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+			qa, err := Quantile(xs, q)
+			if err != nil {
+				t.Fatalf("trial %d q=%v: %v", trial, q, err)
+			}
+			if qa < prev-1e-12 {
+				t.Fatalf("trial %d: quantiles not monotone at q=%v: %v < %v", trial, q, qa, prev)
+			}
+			prev = qa
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"perfpred/internal/cpu"
+	"perfpred/internal/engine"
 	"perfpred/internal/simpoint"
 	"perfpred/internal/space"
 	"perfpred/internal/trace"
@@ -56,6 +57,10 @@ type SimOptions struct {
 	// (0 or 1 = full space). Use a stride coprime to the space dimensions
 	// (e.g. 11) for a representative systematic sample.
 	Stride int
+	// Hook, if non-nil, observes the sweep's execution events — attach
+	// the same hook here and on TrainConfig to get one unified stream
+	// (and one RunReport) covering simulation and modeling.
+	Hook Hook
 }
 
 // SimulateDesignSpace runs the named benchmark's synthetic trace through
@@ -92,7 +97,7 @@ func SimulateDesignSpace(ctx context.Context, benchmark string, opts SimOptions)
 		}
 		cfgs = sub
 	}
-	cycles, err := space.Sweep(ctx, eval, cfgs, opts.Workers)
+	cycles, err := space.Sweep(ctx, eval, cfgs, engine.Options{Workers: opts.Workers, Hook: opts.Hook})
 	if err != nil {
 		return nil, err
 	}
