@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet bench bench-figures
 
 check: build vet test race
 
@@ -21,7 +21,17 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Neural kernel benchmarks → BENCH_3.json: the committed perf snapshot.
+# Joined against BENCH_baseline.json (pre-PR-3 kernels, same machine) so
+# the speedup column tracks the batched-kernel work across PRs.
+# Staged through a file (not a pipe) so benchjson's compilation does not
+# run concurrently with — and perturb — the measurement.
+bench:
+	$(GO) test -run xxx -bench 'Train|PredictAll' -benchmem -count=2 ./internal/neural > bench.out.tmp
+	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_3.json < bench.out.tmp
+	@rm -f bench.out.tmp
+
 # Substrate micro-benchmarks only (full-fidelity figure regeneration is
 # expensive; run those by name when needed).
-bench:
+bench-figures:
 	$(GO) test -run xxx -bench 'PredictDataset|NeuralQuick|EstimateError|SimulateConfig' -benchmem .

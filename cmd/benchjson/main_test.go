@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: perfpred/internal/neural
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTrainQuick           	     147	   8000000 ns/op	 1752971 B/op	   34113 allocs/op
+BenchmarkTrainQuick           	     159	   6000000 ns/op	 1752969 B/op	   34113 allocs/op
+BenchmarkPredictAll-8         	     921	    400000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	perfpred/internal/neural	19.955s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" || snap.Pkg != "perfpred/internal/neural" {
+		t.Errorf("metadata = %q %q %q", snap.GOOS, snap.GOARCH, snap.Pkg)
+	}
+	if !strings.Contains(snap.CPU, "2.70GHz") {
+		t.Errorf("cpu = %q", snap.CPU)
+	}
+	q, ok := snap.Benchmarks["TrainQuick"]
+	if !ok {
+		t.Fatalf("missing TrainQuick: %v", snap.Benchmarks)
+	}
+	if q.Runs != 2 || q.NsPerOp != 7000000 {
+		t.Errorf("TrainQuick = %+v, want 2 runs averaging 7000000 ns/op", q)
+	}
+	if q.BytesPerOp != 1752969 || q.AllocsPerOp != 34113 {
+		t.Errorf("TrainQuick mem = %+v", q)
+	}
+	p, ok := snap.Benchmarks["PredictAll"]
+	if !ok {
+		t.Fatal("missing PredictAll (GOMAXPROCS suffix not stripped?)")
+	}
+	if p.Runs != 1 || p.NsPerOp != 400000 || p.AllocsPerOp != 0 {
+		t.Errorf("PredictAll = %+v", p)
+	}
+}
+
+func TestParseNoBenchmem(t *testing.T) {
+	snap, err := parse(strings.NewReader("BenchmarkX\t10\t123 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := snap.Benchmarks["X"]
+	if x.NsPerOp != 123 || x.BytesPerOp != 0 {
+		t.Errorf("X = %+v", x)
+	}
+}

@@ -220,10 +220,25 @@ func (e *Encoder) SourceField(col int) string {
 
 // EncodeRow encodes one record into a feature vector.
 func (e *Encoder) EncodeRow(row []Value) ([]float64, error) {
-	if len(row) != len(e.schema.Fields) {
-		return nil, fmt.Errorf("dataset: row has %d values, schema has %d fields", len(row), len(e.schema.Fields))
-	}
 	x := make([]float64, len(e.cols))
+	if err := e.EncodeRowInto(x, row); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// EncodeRowInto encodes one raw record into dst, which must hold
+// NumColumns() elements — the allocation-free form of EncodeRow that
+// batch scorers use with reused buffers.
+func (e *Encoder) EncodeRowInto(dst []float64, row []Value) error {
+	if len(row) != len(e.schema.Fields) {
+		return fmt.Errorf("dataset: row has %d values, schema has %d fields", len(row), len(e.schema.Fields))
+	}
+	if len(dst) != len(e.cols) {
+		return fmt.Errorf("dataset: destination has %d slots, encoder has %d columns", len(dst), len(e.cols))
+	}
+	clear(dst)
+	x := dst
 	for ci, c := range e.cols {
 		v := row[c.field]
 		f := e.schema.Fields[c.field]
@@ -240,14 +255,14 @@ func (e *Encoder) EncodeRow(row []Value) ([]float64, error) {
 			// ForLR numeric-mapped categorical.
 			raw, ok := f.NumericLevels[v.Label()]
 			if !ok {
-				return nil, fmt.Errorf("dataset: field %q: category %q has no numeric mapping", f.Name, v.Label())
+				return fmt.Errorf("dataset: field %q: category %q has no numeric mapping", f.Name, v.Label())
 			}
 			x[ci] = scale(raw, c.min, c.max)
 		default:
 			x[ci] = scale(v.Float(), c.min, c.max)
 		}
 	}
-	return x, nil
+	return nil
 }
 
 // scale maps raw into [0,1] relative to the training range. Values outside

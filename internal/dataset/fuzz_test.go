@@ -44,9 +44,9 @@ func FuzzReadCSV(f *testing.F) {
 	}
 	f.Add(valid.Bytes())
 	f.Add([]byte("size,fast,pred,cycles\n16,yes,bimodal,100\n"))
-	f.Add([]byte("size,fast,pred,cycles\n16,maybe,bimodal,100\n"))  // bad flag
-	f.Add([]byte("size,fast,pred,cycles\nNaN,yes,bimodal,100\n"))   // NaN numeric
-	f.Add([]byte("size,fast,pred,cycles\n16,yes,bimodal\n"))        // short row
+	f.Add([]byte("size,fast,pred,cycles\n16,maybe,bimodal,100\n"))   // bad flag
+	f.Add([]byte("size,fast,pred,cycles\nNaN,yes,bimodal,100\n"))    // NaN numeric
+	f.Add([]byte("size,fast,pred,cycles\n16,yes,bimodal\n"))         // short row
 	f.Add([]byte("wrong,header,entirely,cycles\n1,yes,bimodal,1\n")) // bad header
 	f.Add([]byte("size,fast,pred,cycles\n\"unterminated,yes,b,1\n"))
 	f.Add([]byte(""))

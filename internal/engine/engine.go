@@ -48,6 +48,11 @@ const (
 	// EpochProgress is emitted by cooperating long-running task bodies
 	// (e.g. neural-network training) to report inner-loop progress.
 	EpochProgress
+	// KernelTime is emitted by cooperating task bodies after a batched
+	// compute kernel (neural SGD epochs, batch prediction) finishes: Label
+	// names the kernel, Elapsed is the time spent inside it and Samples the
+	// number of per-sample kernel invocations it covered.
+	KernelTime
 )
 
 // String names the event kind.
@@ -61,6 +66,8 @@ func (k EventKind) String() string {
 		return "failed"
 	case EpochProgress:
 		return "epoch"
+	case KernelTime:
+		return "kernel"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -80,6 +87,9 @@ type Event struct {
 	Fold int
 	// Epoch and Epochs report inner-loop progress for EpochProgress events.
 	Epoch, Epochs int
+	// Samples is the number of per-sample kernel invocations covered by a
+	// KernelTime event.
+	Samples int64
 	// Err is the failure for TaskFailed events.
 	Err error
 	// Elapsed is the task's wall-clock duration for TaskDone/TaskFailed.
@@ -204,12 +214,17 @@ func Run(ctx context.Context, opts Options, tasks ...Task) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Every worker goroutine owns a worker-local store for the
+			// lifetime of the run, so scratch buffers fetched through
+			// WorkerLocal are reused across all tasks this worker executes
+			// and released together when the pool drains.
+			wctx := withWorkerState(runCtx)
 			for i := range queue {
 				if err := context.Cause(runCtx); err != nil {
 					errs[i] = err
 					continue
 				}
-				errs[i] = execute(runCtx, opts.Hook, &tasks[i], time.Since(enqueued))
+				errs[i] = execute(wctx, opts.Hook, &tasks[i], time.Since(enqueued))
 				if errs[i] != nil {
 					cancel(errs[i])
 				}
@@ -253,6 +268,47 @@ func execute(ctx context.Context, hook Hook, t *Task, wait time.Duration) (err e
 		hook.Emit(e)
 	}()
 	return t.Run(ctx)
+}
+
+// workerStateKey is the context key carrying a worker's local store.
+type workerStateKey struct{}
+
+// workerState is the per-worker-goroutine cache behind WorkerLocal. A
+// worker executes its tasks sequentially, so the map needs no locking.
+type workerState struct {
+	vals map[any]any
+}
+
+// withWorkerState attaches a fresh worker-local store to ctx.
+func withWorkerState(ctx context.Context) context.Context {
+	return context.WithValue(ctx, workerStateKey{}, &workerState{vals: make(map[any]any)})
+}
+
+// WorkerLocal returns the value stored under key in the current engine
+// worker's local store, creating it with create on first use. The pool
+// owns the store's lifetime: one store per worker goroutine per Run, so a
+// value is reused across every task the worker executes and becomes
+// garbage when the pool drains. Tasks on one worker run sequentially, so
+// the returned value needs no synchronization as long as it does not
+// escape the task.
+//
+// When ctx does not come from an engine worker (direct calls outside any
+// pool), WorkerLocal degrades to calling create every time — callers get
+// correctness without the reuse. Typical use is a per-worker scratch
+// buffer:
+//
+//	buf := engine.WorkerLocal(ctx, bufKey{}, func() any { return new(Scratch) }).(*Scratch)
+func WorkerLocal(ctx context.Context, key any, create func() any) any {
+	ws, ok := ctx.Value(workerStateKey{}).(*workerState)
+	if !ok {
+		return create()
+	}
+	v, ok := ws.vals[key]
+	if !ok {
+		v = create()
+		ws.vals[key] = v
+	}
+	return v
 }
 
 // Map partitions the index range [0, n) into chunks of at most chunk

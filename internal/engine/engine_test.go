@@ -311,3 +311,105 @@ func TestEventQueueWait(t *testing.T) {
 		t.Fatalf("%d TaskDone events, want 2", len(waits[TaskDone]))
 	}
 }
+
+func TestWorkerLocalReusedWithinWorker(t *testing.T) {
+	// A single-worker pool runs every task on one goroutine, so each task
+	// must observe the same worker-local value.
+	var mu sync.Mutex
+	seen := make(map[*int]int)
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = Task{
+			Label: "local",
+			Fold:  -1,
+			Run: func(ctx context.Context) error {
+				v := WorkerLocal(ctx, "slot", func() any { return new(int) }).(*int)
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+				return nil
+			},
+		}
+	}
+	if err := Run(context.Background(), Options{Workers: 1}, tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 {
+		t.Fatalf("one worker produced %d distinct locals, want 1", len(seen))
+	}
+	for _, count := range seen {
+		if count != 8 {
+			t.Fatalf("local used %d times, want 8", count)
+		}
+	}
+}
+
+func TestWorkerLocalDistinctAcrossWorkers(t *testing.T) {
+	// With as many workers as tasks and a barrier keeping all tasks in
+	// flight at once, every task runs on its own worker and must get its
+	// own local value.
+	const n = 4
+	var mu sync.Mutex
+	seen := make(map[*int]bool)
+	barrier := make(chan struct{})
+	var arrived sync.WaitGroup
+	arrived.Add(n)
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{
+			Label: "local",
+			Fold:  -1,
+			Run: func(ctx context.Context) error {
+				v := WorkerLocal(ctx, "slot", func() any { return new(int) }).(*int)
+				mu.Lock()
+				seen[v] = true
+				mu.Unlock()
+				arrived.Done()
+				<-barrier
+				return nil
+			},
+		}
+	}
+	go func() {
+		arrived.Wait()
+		close(barrier)
+	}()
+	if err := Run(context.Background(), Options{Workers: n}, tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("%d workers produced %d distinct locals", n, len(seen))
+	}
+}
+
+func TestWorkerLocalOutsidePool(t *testing.T) {
+	// Outside a pool there is no worker store: every call constructs a
+	// fresh value (correct, just unshared).
+	a := WorkerLocal(context.Background(), "slot", func() any { return new(int) }).(*int)
+	b := WorkerLocal(context.Background(), "slot", func() any { return new(int) }).(*int)
+	if a == b {
+		t.Fatal("calls outside a pool shared a value")
+	}
+}
+
+func TestWorkerLocalDistinctKeys(t *testing.T) {
+	// Distinct keys must map to distinct slots within one worker.
+	err := Run(context.Background(), Options{Workers: 1}, Task{
+		Label: "keys",
+		Fold:  -1,
+		Run: func(ctx context.Context) error {
+			a := WorkerLocal(ctx, "a", func() any { return new(int) }).(*int)
+			b := WorkerLocal(ctx, "b", func() any { return new(int) }).(*int)
+			if a == b {
+				return errors.New("keys a and b shared a slot")
+			}
+			if again := WorkerLocal(ctx, "a", func() any { return new(int) }).(*int); again != a {
+				return errors.New("key a was not stable across calls")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package neural
+
+import (
+	"context"
+	"testing"
+
+	"perfpred/internal/stat"
+)
+
+// benchData synthesizes a Fig. 7-sized training matrix: n records of p
+// [0,1]-scaled inputs with a smooth nonlinear target, the shape of the
+// chronological-prediction workloads that dominate the paper's wall-clock.
+func benchData(n, p int, seed int64) ([][]float64, []float64) {
+	r := stat.NewRand(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, p)
+		for j := range x[i] {
+			x[i][j] = r.Float64()
+		}
+		y[i] = 0.2 + 0.4*x[i][0] + 0.2*x[i][1]*x[i][2] + 0.1*x[i][3]
+	}
+	return x, y
+}
+
+// benchTrain measures one full training run of a method on the canonical
+// benchmark matrix. The seed is fixed so every iteration does identical
+// work (same topology search, same early-stopping trajectory) and runs are
+// comparable across commits; BENCH_3.json snapshots these numbers.
+func benchTrain(b *testing.B, m Method) {
+	b.Helper()
+	x, y := benchData(128, 16, 7)
+	cfg := Config{Method: m, Seed: 1, EpochScale: 0.25, Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(context.Background(), x, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainQuick(b *testing.B)           { benchTrain(b, Quick) }
+func BenchmarkTrainSingle(b *testing.B)          { benchTrain(b, Single) }
+func BenchmarkTrainDynamic(b *testing.B)         { benchTrain(b, Dynamic) }
+func BenchmarkTrainMultiple(b *testing.B)        { benchTrain(b, Multiple) }
+func BenchmarkTrainPrune(b *testing.B)           { benchTrain(b, Prune) }
+func BenchmarkTrainExhaustivePrune(b *testing.B) { benchTrain(b, ExhaustivePrune) }
+
+// BenchmarkPredictAll measures steady-state whole-space scoring (the
+// Figure 1a "predict all 4608 points" step) on a trained model.
+func BenchmarkPredictAll(b *testing.B) {
+	x, y := benchData(128, 16, 7)
+	m, err := Train(context.Background(), x, y, Config{Method: Single, Seed: 1, EpochScale: 0.25, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, _ := benchData(4608, 16, 11)
+	dst := make([]float64, len(space))
+	s := NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := m.PredictAllInto(dst, space, s)
+		if len(out) != len(space) {
+			b.Fatal("short output")
+		}
+	}
+}
+
+// TestPredictAllZeroAlloc pins the tentpole allocation guarantee as a
+// plain test, so `go test` — not just a human reading benchmark output —
+// fails if steady-state batch prediction ever allocates again.
+func TestPredictAllZeroAlloc(t *testing.T) {
+	x, y := benchData(128, 16, 7)
+	m, err := Train(context.Background(), x, y, Config{Method: Single, Seed: 1, EpochScale: 0.1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, _ := benchData(777, 16, 11) // odd length: exercises the batch tail
+	dst := make([]float64, len(space))
+	s := NewScratch()
+	m.PredictAllInto(dst, space, s) // warm the scratch
+	allocs := testing.AllocsPerRun(10, func() {
+		m.PredictAllInto(dst, space, s)
+	})
+	if allocs != 0 {
+		t.Errorf("PredictAllInto allocates %.1f objects/run in steady state, want 0", allocs)
+	}
+}

@@ -54,10 +54,15 @@ func (m *Model) Importance(xs [][]float64) ([]float64, error) {
 			probes[k] = xs[i]
 		}
 	}
+	// One scratch serves every probe prediction below: the sensitivity
+	// sweep is a pure batched-forward workload.
+	s := new(Scratch)
+	s.ensureForward(m.net)
+	predict := func(row []float64) float64 { return m.net.predict1Scratch(row, s) }
 	// Output range across probes (for normalization).
-	outLo, outHi := m.Predict(probes[0]), m.Predict(probes[0])
+	outLo, outHi := predict(probes[0]), predict(probes[0])
 	for _, row := range probes {
-		o := m.Predict(row)
+		o := predict(row)
 		if o < outLo {
 			outLo = o
 		}
@@ -78,7 +83,7 @@ func (m *Model) Importance(xs [][]float64) ([]float64, error) {
 			minO, maxO := 0.0, 0.0
 			for s := 0; s <= sweepSteps; s++ {
 				buf[j] = lo[j] + (hi[j]-lo[j])*float64(s)/float64(sweepSteps)
-				o := m.Predict(buf)
+				o := predict(buf)
 				if s == 0 || o < minO {
 					minO = o
 				}

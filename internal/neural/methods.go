@@ -109,13 +109,47 @@ type Model struct {
 // Predict returns the model's prediction for one encoded input row.
 func (m *Model) Predict(x []float64) float64 { return m.net.Predict1(x) }
 
-// PredictAll returns predictions for a batch of rows.
+// PredictAll returns predictions for a batch of rows via the batched
+// forward kernel (one scratch for the whole batch, no per-row allocation).
 func (m *Model) PredictAll(x [][]float64) []float64 {
-	out := make([]float64, len(x))
-	for i, row := range x {
-		out[i] = m.net.Predict1(row)
+	return m.PredictAllInto(make([]float64, len(x)), x, nil)
+}
+
+// PredictAllInto is the allocation-free batch predictor: it writes the
+// prediction for each row of x into dst (which must have len(x) elements)
+// and returns dst. A nil scratch uses a temporary; passing a reused
+// Scratch makes steady-state calls allocate nothing.
+func (m *Model) PredictAllInto(dst []float64, x [][]float64, s *Scratch) []float64 {
+	if len(dst) != len(x) {
+		panic("neural: PredictAllInto dst/x length mismatch")
 	}
-	return out
+	if s == nil {
+		s = new(Scratch)
+	}
+	s.ensureBatch(m.net)
+	// Full blocks go through the minibatch kernel; the tail is scored by
+	// the per-sample kernel. Both produce bit-identical outputs.
+	var xs [batchWidth][]float64
+	i := 0
+	for ; i+batchWidth <= len(x); i += batchWidth {
+		copy(xs[:], x[i:i+batchWidth])
+		m.net.predictBatch8(&xs, dst[i:i+batchWidth], s)
+	}
+	for ; i < len(x); i++ {
+		dst[i] = m.net.predict1Scratch(x[i], s)
+	}
+	return dst
+}
+
+// PredictWith returns the prediction for one encoded row, reusing s for
+// the forward pass (nil s falls back to Predict). It is the hot-path
+// variant batch scorers use with a worker-local scratch.
+func (m *Model) PredictWith(x []float64, s *Scratch) float64 {
+	if s == nil {
+		return m.Predict(x)
+	}
+	s.ensureForward(m.net)
+	return m.net.predict1Scratch(x, s)
 }
 
 // Method returns the training method that produced the model.
@@ -191,7 +225,7 @@ func gather(x [][]float64, y []float64, idx []int) ([][]float64, []float64) {
 
 // finalPolish retrains net on the full dataset from its current weights.
 func finalPolish(ctx context.Context, net *Network, x [][]float64, y []float64, cfg Config, epochs int, seed int64) error {
-	_, err := net.trainSGD(ctx, x, toColumn(y), sgdOptions{
+	_, err := net.trainSGD(ctx, x, y, sgdOptions{
 		epochs:   cfg.epochs(epochs),
 		lr:       0.25,
 		lrFinal:  0.02,
@@ -211,7 +245,7 @@ func trainQuick(ctx context.Context, x [][]float64, y []float64, xtr [][]float64
 	if err != nil {
 		return nil, err
 	}
-	_, err = net.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
+	_, err = net.trainSGD(ctx, xtr, ytr, sgdOptions{
 		epochs:   cfg.epochs(300),
 		lr:       0.4,
 		lrFinal:  0.05,
@@ -224,7 +258,7 @@ func trainQuick(ctx context.Context, x [][]float64, y []float64, xtr [][]float64
 	if err != nil {
 		return nil, err
 	}
-	val := net.mseOn(xval, yval)
+	val := net.mseOn(xval, yval, scratchFrom(ctx))
 	if err := finalPolish(ctx, net, x, y, cfg, 200, stat.DeriveSeed(cfg.Seed, 3)); err != nil {
 		return nil, err
 	}
@@ -239,7 +273,7 @@ func trainSingle(ctx context.Context, x [][]float64, y []float64, cfg Config) (*
 		return nil, err
 	}
 	// Constant learning rate, one small hidden layer (paper §3.2, NN-S).
-	_, err = net.trainSGD(ctx, x, toColumn(y), sgdOptions{
+	_, err = net.trainSGD(ctx, x, y, sgdOptions{
 		epochs:   cfg.epochs(250),
 		lr:       0.2,
 		momentum: 0.5,
@@ -257,6 +291,7 @@ func trainSingle(ctx context.Context, x [][]float64, y []float64, cfg Config) (*
 func trainDynamic(ctx context.Context, x [][]float64, y []float64, xtr [][]float64, ytr []float64, xval [][]float64, yval []float64, cfg Config) (*Model, error) {
 	p := len(x[0])
 	grow := max(1, p/8)
+	s := scratchFrom(ctx)
 	bestVal := math.Inf(1)
 	var best *Network
 	h := 2
@@ -265,7 +300,7 @@ func trainDynamic(ctx context.Context, x [][]float64, y []float64, xtr [][]float
 		if err != nil {
 			return nil, err
 		}
-		_, err = net.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
+		_, err = net.trainSGD(ctx, xtr, ytr, sgdOptions{
 			epochs:   cfg.epochs(150),
 			lr:       0.35,
 			lrFinal:  0.05,
@@ -278,7 +313,7 @@ func trainDynamic(ctx context.Context, x [][]float64, y []float64, xtr [][]float
 		if err != nil {
 			return nil, err
 		}
-		val := net.mseOn(xval, yval)
+		val := net.mseOn(xval, yval, s)
 		if val < bestVal*(1-1e-4) {
 			bestVal = val
 			best = net
@@ -322,7 +357,7 @@ func trainMultiple(ctx context.Context, x [][]float64, y []float64, xtr [][]floa
 				if err != nil {
 					return err
 				}
-				_, err = net.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
+				_, err = net.trainSGD(ctx, xtr, ytr, sgdOptions{
 					epochs:   cfg.epochs(250),
 					lr:       0.35,
 					lrFinal:  0.04,
@@ -335,7 +370,7 @@ func trainMultiple(ctx context.Context, x [][]float64, y []float64, xtr [][]floa
 				if err != nil {
 					return err
 				}
-				results[i] = result{net: net, val: net.mseOn(xval, yval)}
+				results[i] = result{net: net, val: net.mseOn(xval, yval, scratchFrom(ctx))}
 				return nil
 			},
 		}
@@ -394,12 +429,13 @@ func trainPrune(ctx context.Context, x [][]float64, y []float64, xtr [][]float64
 			Model: method.String(),
 			Fold:  -1,
 			Run: func(ctx context.Context) error {
+				s := scratchFrom(ctx)
 				seedBase := 1000 * (ri + 1)
 				net, err := NewNetwork([]int{p, startH, 1}, Sigmoid, Sigmoid, stat.NewSubRand(cfg.Seed, seedBase))
 				if err != nil {
 					return err
 				}
-				_, err = net.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
+				_, err = net.trainSGD(ctx, xtr, ytr, sgdOptions{
 					epochs:   cfg.epochs(trainEpochs),
 					lr:       0.35,
 					lrFinal:  0.03,
@@ -412,7 +448,7 @@ func trainPrune(ctx context.Context, x [][]float64, y []float64, xtr [][]float64
 				if err != nil {
 					return err
 				}
-				val := net.mseOn(xval, yval)
+				val := net.mseOn(xval, yval, s)
 
 				// Alternate hidden-unit and input pruning while the held-out
 				// error stays within tolerance.
@@ -437,7 +473,7 @@ func trainPrune(ctx context.Context, x [][]float64, y []float64, xtr [][]float64
 							break
 						}
 					}
-					_, err := cand.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
+					_, err := cand.trainSGD(ctx, xtr, ytr, sgdOptions{
 						epochs:   cfg.epochs(retrainEpochs),
 						lr:       0.2,
 						lrFinal:  0.03,
@@ -450,7 +486,7 @@ func trainPrune(ctx context.Context, x [][]float64, y []float64, xtr [][]float64
 					if err != nil {
 						return err
 					}
-					cval := cand.mseOn(xval, yval)
+					cval := cand.mseOn(xval, yval, s)
 					if cval <= val*tol {
 						net, val = cand, math.Min(cval, val)
 						continue
@@ -469,7 +505,7 @@ func trainPrune(ctx context.Context, x [][]float64, y []float64, xtr [][]float64
 						if err := cand.FreezeInput(victim); err != nil {
 							break
 						}
-						_, err := cand.trainSGD(ctx, xtr, toColumn(ytr), sgdOptions{
+						_, err := cand.trainSGD(ctx, xtr, ytr, sgdOptions{
 							epochs:   cfg.epochs(retrainEpochs),
 							lr:       0.15,
 							lrFinal:  0.03,
@@ -482,7 +518,7 @@ func trainPrune(ctx context.Context, x [][]float64, y []float64, xtr [][]float64
 						if err != nil {
 							return err
 						}
-						cval := cand.mseOn(xval, yval)
+						cval := cand.mseOn(xval, yval, s)
 						if cval <= val*tol {
 							net, val = cand, math.Min(cval, val)
 							continue
@@ -547,11 +583,4 @@ func argmin(xs []float64) int {
 		}
 	}
 	return best
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

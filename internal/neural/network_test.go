@@ -68,8 +68,8 @@ func TestForwardKnownNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Hand-set weights: hidden = 2*x0 + 3*x1 + 1; out = 0.5*h - 2.
-	n.layers[0].w[0] = []float64{2, 3, 1}
-	n.layers[1].w[0] = []float64{0.5, -2}
+	copy(n.layers[0].row(0), []float64{2, 3, 1})
+	copy(n.layers[1].row(0), []float64{0.5, -2})
 	got := n.Predict1([]float64{1, 2})
 	want := 0.5*(2*1+3*2+1) - 2
 	if math.Abs(got-want) > 1e-12 {
@@ -93,7 +93,7 @@ func TestCloneIndependent(t *testing.T) {
 	n, _ := NewNetwork([]int{2, 3, 1}, Sigmoid, Sigmoid, r)
 	c := n.Clone()
 	before := n.Predict1([]float64{0.5, 0.5})
-	c.layers[0].w[0][0] += 10
+	c.layers[0].w[0] += 10
 	if n.Predict1([]float64{0.5, 0.5}) != before {
 		t.Fatal("clone shares weight storage")
 	}
@@ -148,9 +148,9 @@ func TestRemoveHiddenPreservesOtherUnits(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	n, _ := NewNetwork([]int{1, 2, 1}, Linear, Linear, r)
 	// unit0: y0 = x; unit1: y1 = 5x; out = 1*y0 + 1*y1.
-	n.layers[0].w[0] = []float64{1, 0}
-	n.layers[0].w[1] = []float64{5, 0}
-	n.layers[1].w[0] = []float64{1, 1, 0}
+	copy(n.layers[0].row(0), []float64{1, 0})
+	copy(n.layers[0].row(1), []float64{5, 0})
+	copy(n.layers[1].row(0), []float64{1, 1, 0})
 	if err := n.RemoveHidden(0, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestRemoveHiddenPreservesOtherUnits(t *testing.T) {
 func TestHiddenSaliency(t *testing.T) {
 	r := rand.New(rand.NewSource(8))
 	n, _ := NewNetwork([]int{1, 3, 1}, Sigmoid, Linear, r)
-	n.layers[1].w[0] = []float64{0.1, -5, 2, 0}
+	copy(n.layers[1].row(0), []float64{0.1, -5, 2, 0})
 	sal := n.hiddenSaliency(0)
 	if !(sal[1] > sal[2] && sal[2] > sal[0]) {
 		t.Fatalf("saliency = %v", sal)
@@ -173,8 +173,8 @@ func TestHiddenSaliency(t *testing.T) {
 func TestInputSaliency(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
 	n, _ := NewNetwork([]int{2, 2, 1}, Sigmoid, Linear, r)
-	n.layers[0].w[0] = []float64{3, 0.1, 0}
-	n.layers[0].w[1] = []float64{-2, 0.2, 0}
+	copy(n.layers[0].row(0), []float64{3, 0.1, 0})
+	copy(n.layers[0].row(1), []float64{-2, 0.2, 0})
 	sal := n.inputSaliency()
 	if !(sal[0] > sal[1]) {
 		t.Fatalf("input saliency = %v", sal)

@@ -41,8 +41,15 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 	if math.IsNaN(st.ValMSE) {
 		st.ValMSE = -1
 	}
-	for _, l := range m.net.layers {
-		st.Net.Layers = append(st.Net.Layers, layerState{W: l.w, Act: l.act})
+	// The wire format keeps the ragged per-unit rows (version 1); the flat
+	// in-memory rows are copied out unit by unit.
+	for li := range m.net.layers {
+		l := &m.net.layers[li]
+		w := make([][]float64, l.out)
+		for i := range w {
+			w[i] = append([]float64(nil), l.row(i)...)
+		}
+		st.Net.Layers = append(st.Net.Layers, layerState{W: w, Act: l.act})
 	}
 	return json.Marshal(st)
 }
@@ -69,22 +76,30 @@ func UnmarshalModel(data []byte) (*Model, error) {
 		sizes:       st.Net.Sizes,
 		frozenInput: st.Net.FrozenInput,
 	}
+	for _, f := range st.Net.FrozenInput {
+		if f {
+			n.nFrozen++
+		}
+	}
 	for li, l := range st.Net.Layers {
 		if len(l.W) != st.Net.Sizes[li+1] {
 			return nil, fmt.Errorf("neural: layer %d has %d units, sizes say %d", li, len(l.W), st.Net.Sizes[li+1])
 		}
+		in := st.Net.Sizes[li]
+		flat := make([]float64, 0, len(l.W)*(in+1))
 		for ui, row := range l.W {
-			if len(row) != st.Net.Sizes[li]+1 {
+			if len(row) != in+1 {
 				return nil, fmt.Errorf("neural: layer %d unit %d has %d weights, want %d",
-					li, ui, len(row), st.Net.Sizes[li]+1)
+					li, ui, len(row), in+1)
 			}
+			flat = append(flat, row...)
 		}
 		switch l.Act {
 		case Sigmoid, TanSigmoid, Linear, HardLimit:
 		default:
 			return nil, fmt.Errorf("neural: layer %d has invalid activation %d", li, int(l.Act))
 		}
-		n.layers = append(n.layers, layer{w: l.W, act: l.Act})
+		n.layers = append(n.layers, layer{w: flat, in: in, out: len(l.W), act: l.Act})
 	}
 	val := st.ValMSE
 	if val == -1 {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"time"
 
 	"perfpred/internal/engine"
 )
@@ -34,19 +35,33 @@ func (o sgdOptions) progressStride() int {
 	return s
 }
 
-// trainSGD runs stochastic backpropagation with momentum on (x, y).
-// It shuffles per epoch with r and respects frozen inputs. Returns the
-// final training MSE. The epoch loop checks ctx each iteration, so a hung
-// or oversized training run (an NN-E prune, say) can be aborted promptly.
-func (n *Network) trainSGD(ctx context.Context, x [][]float64, y [][]float64, opts sgdOptions, r *rand.Rand) (float64, error) {
+// scratchKey identifies the neural kernels' slot in an engine worker's
+// local store.
+type scratchKey struct{}
+
+// scratchFrom returns the current engine worker's reusable kernel scratch.
+// Inside a pool the scratch lives as long as the worker, so every training
+// run and batch prediction the worker executes shares one set of buffers;
+// outside a pool each call gets a fresh scratch (correct, just unshared).
+func scratchFrom(ctx context.Context) *Scratch {
+	return engine.WorkerLocal(ctx, scratchKey{}, func() any { return new(Scratch) }).(*Scratch)
+}
+
+// trainSGD runs stochastic backpropagation with momentum on (x, y), where
+// y holds each sample's targets flattened at stride NumOutputs. It
+// shuffles per epoch with r and respects frozen inputs. Returns the final
+// training MSE. The epoch loop checks ctx each iteration, so a hung or
+// oversized training run (an NN-E prune, say) can be aborted promptly.
+func (n *Network) trainSGD(ctx context.Context, x [][]float64, y []float64, opts sgdOptions, r *rand.Rand) (float64, error) {
 	if len(x) == 0 {
 		return 0, errors.New("neural: no training data")
 	}
-	if len(x) != len(y) {
+	nOut := n.NumOutputs()
+	if len(y) != len(x)*nOut {
 		return 0, errors.New("neural: x/y length mismatch")
 	}
-	for _, l := range n.layers {
-		if l.act == HardLimit {
+	for li := range n.layers {
+		if n.layers[li].act == HardLimit {
 			return 0, errors.New("neural: hard-limit activation is not trainable by backprop")
 		}
 	}
@@ -57,19 +72,8 @@ func (n *Network) trainSGD(ctx context.Context, x [][]float64, y [][]float64, op
 		return 0, errors.New("neural: learning rate must be positive")
 	}
 
-	// Momentum velocity, same shape as the weights.
-	vel := make([][][]float64, len(n.layers))
-	for li, l := range n.layers {
-		vel[li] = make([][]float64, len(l.w))
-		for i := range l.w {
-			vel[li][i] = make([]float64, len(l.w[i]))
-		}
-	}
-	// Per-layer delta buffers.
-	deltas := make([][]float64, len(n.layers))
-	for li := range n.layers {
-		deltas[li] = make([]float64, len(n.layers[li].w))
-	}
+	s := scratchFrom(ctx)
+	s.ensureBackward(n)
 
 	perm := make([]int, len(x))
 	for i := range perm {
@@ -79,6 +83,8 @@ func (n *Network) trainSGD(ctx context.Context, x [][]float64, y [][]float64, op
 	stale := 0
 	mse := math.Inf(1)
 	stride := opts.progressStride()
+	kernelStart := time.Now()
+	samples := int64(0)
 	for epoch := 0; epoch < opts.epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
 			return mse, err
@@ -96,10 +102,8 @@ func (n *Network) trainSGD(ctx context.Context, x [][]float64, y [][]float64, op
 			lr = opts.lr * math.Pow(opts.lrFinal/opts.lr, t)
 		}
 		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-		sse := 0.0
-		for _, i := range perm {
-			sse += n.backpropOne(x[i], y[i], lr, opts.momentum, vel, deltas)
-		}
+		sse := n.trainEpoch(x, y, perm, lr, opts.momentum, s)
+		samples += int64(len(x))
 		mse = sse / float64(len(x))
 		if opts.patience > 0 {
 			if mse < best-opts.minDelta {
@@ -113,79 +117,158 @@ func (n *Network) trainSGD(ctx context.Context, x [][]float64, y [][]float64, op
 			}
 		}
 	}
+	if opts.hook != nil {
+		opts.hook.Emit(engine.Event{
+			Kind: engine.KernelTime, Label: "sgd " + opts.label, Fold: -1,
+			Samples: samples, Elapsed: time.Since(kernelStart),
+		})
+	}
 	return mse, nil
 }
 
-// backpropOne performs one stochastic update and returns the pre-update
-// squared error of the sample.
-func (n *Network) backpropOne(x, target []float64, lr, momentum float64, vel [][][]float64, deltas [][]float64) float64 {
-	acts := n.forwardActs(x)
-	out := acts[len(acts)-1]
+// trainEpoch is the batched backward kernel: it streams one epoch of
+// per-sample stochastic updates through the scratch buffers in perm order
+// and returns the epoch's summed pre-update squared error. Updates are
+// applied sample by sample in exactly the reference order, so batching
+// changes no numerical result.
+func (n *Network) trainEpoch(x [][]float64, y []float64, perm []int, lr, momentum float64, s *Scratch) float64 {
+	nOut := n.NumOutputs()
+	sse := 0.0
+	for _, i := range perm {
+		sse += n.backpropSample(x[i], y[i*nOut:(i+1)*nOut], lr, momentum, s)
+	}
+	return sse
+}
+
+// backpropSample performs one stochastic update through the scratch
+// buffers and returns the pre-update squared error of the sample.
+func (n *Network) backpropSample(x, target []float64, lr, momentum float64, s *Scratch) float64 {
+	out := n.forwardScratch(x, s)
 	last := len(n.layers) - 1
 
 	se := 0.0
+	lastDeltas := s.deltas[last]
+	lastAct := n.layers[last].act
 	for i := range out {
 		err := target[i] - out[i]
 		se += err * err
-		deltas[last][i] = err * n.layers[last].act.derivFromOutput(out[i])
+		lastDeltas[i] = err * lastAct.derivFromOutput(out[i])
 	}
-	// Backpropagate deltas.
+	// Backpropagate deltas. Hidden units are handled four at a time: each
+	// unit's sum still accumulates over k in ascending order (the reference
+	// order), but the four independent accumulators overlap their FP
+	// dependency chains and turn the strided weight reads into contiguous
+	// four-wide loads.
 	for li := last - 1; li >= 0; li-- {
-		nextL := n.layers[li+1]
-		cur := acts[li+1]
-		for i := range deltas[li] {
-			s := 0.0
-			for k, row := range nextL.w {
-				s += row[i] * deltas[li+1][k]
+		l := &n.layers[li]
+		next := &n.layers[li+1]
+		nw := next.w
+		nstride := next.in + 1
+		nout := next.out
+		cur := s.acts[li]
+		deltas := s.deltas[li]
+		nextDeltas := s.deltas[li+1][:nout]
+		i := 0
+		for ; i+4 <= l.out; i += 4 {
+			var s0, s1, s2, s3 float64
+			for k, d := range nextDeltas {
+				base := k*nstride + i
+				q := nw[base : base+4 : base+4]
+				s0 += q[0] * d
+				s1 += q[1] * d
+				s2 += q[2] * d
+				s3 += q[3] * d
 			}
-			deltas[li][i] = s * n.layers[li].act.derivFromOutput(cur[i])
+			deltas[i] = s0 * l.act.derivFromOutput(cur[i])
+			deltas[i+1] = s1 * l.act.derivFromOutput(cur[i+1])
+			deltas[i+2] = s2 * l.act.derivFromOutput(cur[i+2])
+			deltas[i+3] = s3 * l.act.derivFromOutput(cur[i+3])
+		}
+		for ; i < l.out; i++ {
+			sum := 0.0
+			for k, d := range nextDeltas {
+				sum += nw[k*nstride+i] * d
+			}
+			deltas[i] = sum * l.act.derivFromOutput(cur[i])
 		}
 	}
-	// Weight updates with momentum.
+	// Weight updates with momentum. Layer 0 additionally respects the
+	// pruning mask; the frozen branch is skipped entirely on unpruned
+	// networks.
 	for li := range n.layers {
-		in := acts[li]
 		l := &n.layers[li]
-		for i, row := range l.w {
-			d := deltas[li][i]
-			vrow := vel[li][i]
-			for j := range row {
-				var grad float64
-				if j == len(row)-1 {
-					grad = d // bias input is 1
-				} else {
-					if li == 0 && n.frozenInput[j] {
-						vrow[j] = 0
+		in := x
+		if li > 0 {
+			in = s.acts[li-1]
+		}
+		in = in[:l.in]
+		stride := l.in + 1
+		w := l.w
+		vel := s.vel[li]
+		deltas := s.deltas[li]
+		checkFrozen := li == 0 && n.nFrozen > 0
+		for i := 0; i < l.out; i++ {
+			d := deltas[i]
+			off := i * stride
+			rw := w[off : off+l.in : off+l.in][:len(in)]
+			vw := vel[off : off+l.in : off+l.in][:len(in)]
+			if checkFrozen {
+				frozen := n.frozenInput[:l.in][:len(in)]
+				for j, a := range in {
+					if frozen[j] {
+						vw[j] = 0
 						continue
 					}
-					grad = d * in[j]
+					grad := d * a
+					v := momentum*vw[j] + lr*grad
+					vw[j] = v
+					rw[j] += v
 				}
-				v := momentum*vrow[j] + lr*grad
-				vrow[j] = v
-				row[j] += v
+			} else {
+				for j, a := range in {
+					grad := d * a
+					v := momentum*vw[j] + lr*grad
+					vw[j] = v
+					rw[j] += v
+				}
 			}
+			// Bias input is 1.
+			v := momentum*vel[off+l.in] + lr*d
+			vel[off+l.in] = v
+			w[off+l.in] += v
 		}
 	}
 	return se
 }
 
-// mseOn returns the network's MSE over a dataset with scalar targets.
-func (n *Network) mseOn(x [][]float64, y []float64) float64 {
+// mseOn returns the network's MSE over a dataset with scalar targets,
+// streaming every row through s (nil s uses a temporary scratch).
+func (n *Network) mseOn(x [][]float64, y []float64, s *Scratch) float64 {
 	if len(x) == 0 {
 		return math.NaN()
 	}
-	s := 0.0
-	for i := range x {
-		d := n.Predict1(x[i]) - y[i]
-		s += d * d
+	if s == nil {
+		s = new(Scratch)
 	}
-	return s / float64(len(x))
-}
-
-// toColumn wraps a scalar target slice as the [][]float64 the trainer wants.
-func toColumn(y []float64) [][]float64 {
-	out := make([][]float64, len(y))
-	for i, v := range y {
-		out[i] = []float64{v}
+	s.ensureBatch(n)
+	// Full blocks go through the minibatch forward kernel; per-sample
+	// squared errors are still summed in sample order, so the total is
+	// bit-identical to the sequential pass.
+	var xs [batchWidth][]float64
+	var preds [batchWidth]float64
+	sum := 0.0
+	i := 0
+	for ; i+batchWidth <= len(x); i += batchWidth {
+		copy(xs[:], x[i:i+batchWidth])
+		n.predictBatch8(&xs, preds[:], s)
+		for b, p := range preds {
+			d := p - y[i+b]
+			sum += d * d
+		}
 	}
-	return out
+	for ; i < len(x); i++ {
+		d := n.predict1Scratch(x[i], s) - y[i]
+		sum += d * d
+	}
+	return sum / float64(len(x))
 }

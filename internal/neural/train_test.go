@@ -21,7 +21,7 @@ func TestTrainSGDLearnsXOR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mse, err := n.trainSGD(context.Background(), x, toColumn(y), sgdOptions{
+	mse, err := n.trainSGD(context.Background(), x, y, sgdOptions{
 		epochs: 4000, lr: 0.6, momentum: 0.9,
 	}, rand.New(rand.NewSource(4)))
 	if err != nil {
@@ -49,7 +49,7 @@ func TestTrainSGDLinearFunction(t *testing.T) {
 		y[i] = 0.2 + 0.5*v
 	}
 	n, _ := NewNetwork([]int{1, 3, 1}, Sigmoid, Sigmoid, r)
-	mse, err := n.trainSGD(context.Background(), x, toColumn(y), sgdOptions{
+	mse, err := n.trainSGD(context.Background(), x, y, sgdOptions{
 		epochs: 1500, lr: 0.5, lrFinal: 0.05, momentum: 0.9,
 	}, rand.New(rand.NewSource(6)))
 	if err != nil {
@@ -69,14 +69,14 @@ func TestTrainSGDValidation(t *testing.T) {
 	if _, err := n.trainSGD(context.Background(), [][]float64{{1}}, nil, sgdOptions{epochs: 10, lr: 0.1}, r); err == nil {
 		t.Fatal("x/y mismatch: want error")
 	}
-	if _, err := n.trainSGD(context.Background(), [][]float64{{1}}, [][]float64{{1}}, sgdOptions{epochs: 0, lr: 0.1}, r); err == nil {
+	if _, err := n.trainSGD(context.Background(), [][]float64{{1}}, []float64{1}, sgdOptions{epochs: 0, lr: 0.1}, r); err == nil {
 		t.Fatal("zero epochs: want error")
 	}
-	if _, err := n.trainSGD(context.Background(), [][]float64{{1}}, [][]float64{{1}}, sgdOptions{epochs: 5, lr: 0}, r); err == nil {
+	if _, err := n.trainSGD(context.Background(), [][]float64{{1}}, []float64{1}, sgdOptions{epochs: 5, lr: 0}, r); err == nil {
 		t.Fatal("zero lr: want error")
 	}
 	hl, _ := NewNetwork([]int{1, 2, 1}, HardLimit, Linear, r)
-	if _, err := hl.trainSGD(context.Background(), [][]float64{{1}}, [][]float64{{1}}, sgdOptions{epochs: 5, lr: 0.1}, r); err == nil {
+	if _, err := hl.trainSGD(context.Background(), [][]float64{{1}}, []float64{1}, sgdOptions{epochs: 5, lr: 0.1}, r); err == nil {
 		t.Fatal("hard-limit training: want error")
 	}
 }
@@ -88,7 +88,7 @@ func TestTrainSGDEarlyStopping(t *testing.T) {
 	x := [][]float64{{0}, {0.5}, {1}, {0.25}, {0.75}, {0.1}}
 	y := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5} // constant target converges fast
 	n, _ := NewNetwork([]int{1, 2, 1}, Sigmoid, Sigmoid, r)
-	mse, err := n.trainSGD(context.Background(), x, toColumn(y), sgdOptions{
+	mse, err := n.trainSGD(context.Background(), x, y, sgdOptions{
 		epochs: 1_000_000, lr: 0.5, momentum: 0.5, patience: 10, minDelta: 1e-9,
 	}, rand.New(rand.NewSource(9)))
 	if err != nil {
@@ -106,11 +106,11 @@ func TestFrozenInputStaysZeroThroughTraining(t *testing.T) {
 	if err := n.FreezeInput(1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.trainSGD(context.Background(), x, toColumn(y), sgdOptions{epochs: 200, lr: 0.4, momentum: 0.9}, rand.New(rand.NewSource(11))); err != nil {
+	if _, err := n.trainSGD(context.Background(), x, y, sgdOptions{epochs: 200, lr: 0.4, momentum: 0.9}, rand.New(rand.NewSource(11))); err != nil {
 		t.Fatal(err)
 	}
-	for i := range n.layers[0].w {
-		if n.layers[0].w[i][1] != 0 {
+	for i := 0; i < n.layers[0].out; i++ {
+		if n.layers[0].row(i)[1] != 0 {
 			t.Fatal("training resurrected a frozen input weight")
 		}
 	}
@@ -120,7 +120,7 @@ func TestTrainingIsDeterministicGivenSeeds(t *testing.T) {
 	x, y := xorData()
 	run := func() float64 {
 		n, _ := NewNetwork([]int{2, 4, 1}, Sigmoid, Sigmoid, rand.New(rand.NewSource(12)))
-		_, err := n.trainSGD(context.Background(), x, toColumn(y), sgdOptions{epochs: 300, lr: 0.5, momentum: 0.9}, rand.New(rand.NewSource(13)))
+		_, err := n.trainSGD(context.Background(), x, y, sgdOptions{epochs: 300, lr: 0.5, momentum: 0.9}, rand.New(rand.NewSource(13)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,15 +134,15 @@ func TestTrainingIsDeterministicGivenSeeds(t *testing.T) {
 func TestMseOn(t *testing.T) {
 	r := rand.New(rand.NewSource(14))
 	n, _ := NewNetwork([]int{1, 2, 1}, Linear, Linear, r)
-	n.layers[0].w[0] = []float64{1, 0}
-	n.layers[0].w[1] = []float64{0, 0}
-	n.layers[1].w[0] = []float64{1, 0, 0}
+	copy(n.layers[0].row(0), []float64{1, 0})
+	copy(n.layers[0].row(1), []float64{0, 0})
+	copy(n.layers[1].row(0), []float64{1, 0, 0})
 	// f(x) = x; MSE vs y=x+1 is 1.
-	got := n.mseOn([][]float64{{0}, {1}, {2}}, []float64{1, 2, 3})
+	got := n.mseOn([][]float64{{0}, {1}, {2}}, []float64{1, 2, 3}, nil)
 	if math.Abs(got-1) > 1e-12 {
 		t.Fatalf("mseOn = %v", got)
 	}
-	if !math.IsNaN(n.mseOn(nil, nil)) {
+	if !math.IsNaN(n.mseOn(nil, nil, nil)) {
 		t.Fatal("empty mseOn should be NaN")
 	}
 }

@@ -17,6 +17,9 @@ const (
 	MetricEpochEvents      = "engine.epoch_events"
 	MetricQueueWaitSeconds = "engine.queue_wait_seconds"
 	MetricTaskSeconds      = "engine.task_seconds"
+	MetricKernelEvents     = "neural.kernel.events"
+	MetricKernelSamples    = "neural.kernel.samples"
+	MetricKernelSeconds    = "neural.kernel.seconds"
 )
 
 // ModelStats aggregates every engine task attributed to one model kind.
@@ -33,6 +36,19 @@ type ModelStats struct {
 	// FoldSeconds maps cross-validation fold index to that fold's total
 	// training+evaluation time.
 	FoldSeconds map[int]float64 `json:"fold_seconds,omitempty"`
+}
+
+// KernelStats aggregates the numeric kernels' self-reported timings (SGD
+// training epochs, batch prediction sweeps), keyed by kernel name — the
+// first token of the KernelTime event label. Samples counts the rows
+// streamed through the kernel, so Samples/Seconds is its throughput.
+type KernelStats struct {
+	// Events counts KernelTime reports (one per SGD run or batch sweep).
+	Events int64 `json:"events"`
+	// Samples counts rows processed across those reports.
+	Samples int64 `json:"samples"`
+	// Seconds is total in-kernel wall-clock (parallel kernels overlap).
+	Seconds float64 `json:"seconds"`
 }
 
 // PhaseStats aggregates tasks by pipeline phase (the first token of the
@@ -58,6 +74,8 @@ type ExecutionStats struct {
 	Phases map[string]PhaseStats `json:"phases,omitempty"`
 	// Models breaks task counts and time down by model kind.
 	Models map[string]ModelStats `json:"models,omitempty"`
+	// Kernels breaks self-reported kernel time down by kernel name.
+	Kernels map[string]KernelStats `json:"kernels,omitempty"`
 }
 
 // Counts projects the deterministic part of the stats: everything except
@@ -80,6 +98,10 @@ func (s ExecutionStats) Counts() map[string]int64 {
 		out["model."+name+".epoch_events"] = m.EpochEvents
 		out["model."+name+".folds"] = int64(len(m.FoldSeconds))
 	}
+	for name, k := range s.Kernels {
+		out["kernel."+name+".events"] = k.Events
+		out["kernel."+name+".samples"] = k.Samples
+	}
 	return out
 }
 
@@ -92,9 +114,10 @@ type Recorder struct {
 	reg     *Registry
 	started time.Time
 
-	mu     sync.Mutex
-	models map[string]*ModelStats
-	phases map[string]*PhaseStats
+	mu      sync.Mutex
+	models  map[string]*ModelStats
+	phases  map[string]*PhaseStats
+	kernels map[string]*KernelStats
 }
 
 // NewRecorder returns a Recorder with a fresh registry, stamped with the
@@ -105,6 +128,7 @@ func NewRecorder() *Recorder {
 		started: time.Now(),
 		models:  make(map[string]*ModelStats),
 		phases:  make(map[string]*PhaseStats),
+		kernels: make(map[string]*KernelStats),
 	}
 }
 
@@ -210,6 +234,22 @@ func (r *Recorder) observe(e engine.Event) {
 			r.model(model).EpochEvents++
 			r.mu.Unlock()
 		}
+	case engine.KernelTime:
+		r.reg.Counter(MetricKernelEvents).Inc()
+		r.reg.Counter(MetricKernelSamples).Add(e.Samples)
+		sec := e.Elapsed.Seconds()
+		r.reg.Histogram(MetricKernelSeconds).Observe(sec)
+		name := phaseOf(e.Label)
+		r.mu.Lock()
+		k, ok := r.kernels[name]
+		if !ok {
+			k = &KernelStats{}
+			r.kernels[name] = k
+		}
+		k.Events++
+		k.Samples += e.Samples
+		k.Seconds += sec
+		r.mu.Unlock()
 	}
 }
 
@@ -242,6 +282,12 @@ func (r *Recorder) Execution() ExecutionStats {
 		stats.Phases = make(map[string]PhaseStats, len(r.phases))
 		for k, v := range r.phases {
 			stats.Phases[k] = *v
+		}
+	}
+	if len(r.kernels) > 0 {
+		stats.Kernels = make(map[string]KernelStats, len(r.kernels))
+		for k, v := range r.kernels {
+			stats.Kernels[k] = *v
 		}
 	}
 	if len(r.models) > 0 {

@@ -164,3 +164,39 @@ func TestRecorderCountsWorkerInvariant(t *testing.T) {
 		t.Errorf("predict tasks = %d, want 4", got)
 	}
 }
+
+func TestRecorderKernelStats(t *testing.T) {
+	rec := NewRecorder()
+	hook := rec.Hook()
+	hook(engine.Event{Kind: engine.KernelTime, Label: "sgd NN-Q", Fold: -1, Samples: 6400, Elapsed: 2 * time.Second})
+	hook(engine.Event{Kind: engine.KernelTime, Label: "sgd NN-Q", Fold: -1, Samples: 1600, Elapsed: time.Second})
+	hook(engine.Event{Kind: engine.KernelTime, Label: "predict NN-Q", Model: "NN-Q", Fold: -1, Samples: 256, Elapsed: time.Second / 2})
+
+	exec := rec.Execution()
+	sgd, ok := exec.Kernels["sgd"]
+	if !ok {
+		t.Fatalf("no sgd kernel aggregate: %+v", exec.Kernels)
+	}
+	if sgd.Events != 2 || sgd.Samples != 8000 || sgd.Seconds != 3 {
+		t.Errorf("sgd = %+v", sgd)
+	}
+	pred, ok := exec.Kernels["predict"]
+	if !ok {
+		t.Fatal("no predict kernel aggregate")
+	}
+	if pred.Events != 1 || pred.Samples != 256 || pred.Seconds != 0.5 {
+		t.Errorf("predict = %+v", pred)
+	}
+
+	counts := exec.Counts()
+	if counts["kernel.sgd.events"] != 2 || counts["kernel.sgd.samples"] != 8000 {
+		t.Errorf("counts = %+v", counts)
+	}
+	if counts["kernel.predict.samples"] != 256 {
+		t.Errorf("counts = %+v", counts)
+	}
+
+	if got := rec.Registry().Counter(MetricKernelSamples).Value(); got != 8256 {
+		t.Errorf("kernel samples counter = %d, want 8256", got)
+	}
+}
