@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-figures
+.PHONY: check build test race vet bench bench-figures e2e coverage
 
 check: build vet test race
 
@@ -30,6 +30,17 @@ bench:
 	$(GO) test -run xxx -bench 'Train|PredictAll' -benchmem -count=2 ./internal/neural > bench.out.tmp
 	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_3.json < bench.out.tmp
 	@rm -f bench.out.tmp
+
+# End-to-end smoke of the serving daemon: train → serve → curl → drain,
+# asserting daemon predictions are bit-identical to offline scoring.
+e2e:
+	./scripts/e2e_serve.sh
+
+# Coverage summary for the core and serving packages (same profile the
+# CI coverage job uploads as an artifact).
+coverage:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./internal/serve ./internal/core
+	$(GO) tool cover -func=coverage.out
 
 # Substrate micro-benchmarks only (full-fidelity figure regeneration is
 # expensive; run those by name when needed).

@@ -1,17 +1,24 @@
 // Command predict trains a surrogate model and persists it, or loads a
-// persisted surrogate and scores a CSV of configurations — the
-// train-once / predict-forever workflow a design team would actually use.
+// persisted surrogate and scores configurations — the train-once /
+// predict-forever workflow a design team would actually use.
 //
 // Train and save:
 //
 //	predict -train -bench mcf -model NN-E -frac 0.02 -out mcf-nne.json
 //
-// Load and score (CSV in the format written by specgen / Dataset.WriteCSV;
+// Load and score a CSV (format written by specgen / Dataset.WriteCSV;
 // the target column is used only to report the error):
 //
 //	specgen -family "Pentium D" > pd.csv
 //	predict -train -family "Pentium D" -model LR-E -out pd-lre.json
 //	predict -model-file pd-lre.json -csv pd.csv
+//
+// The CLI shares the model loader and the batch JSON wire schema with
+// the perfpredd daemon, so a request body scored offline here is
+// bit-identical to the same body POSTed to /v1/predict:
+//
+//	predict -model-file pd-lre.json -csv pd.csv -emit-request 8 > req.json
+//	predict -model-file pd-lre.json -json req.json
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"os"
 
 	"perfpred"
+	"perfpred/internal/serve"
 )
 
 func main() {
@@ -35,6 +43,8 @@ func main() {
 	out := flag.String("out", "model.json", "output path for the trained model")
 	modelFile := flag.String("model-file", "", "persisted model to load")
 	csvPath := flag.String("csv", "", "CSV of configurations to score")
+	jsonPath := flag.String("json", "", "serve-format predict request to score offline")
+	emitRequest := flag.Int("emit-request", 0, "emit a serve-format request for the first N CSV rows instead of scoring")
 	seed := flag.Int64("seed", 1, "seed")
 	stride := flag.Int("stride", 11, "design-space stride during training (with -bench)")
 	flag.Parse()
@@ -44,12 +54,20 @@ func main() {
 		if err := trainAndSave(*bench, *family, *model, *frac, *out, *seed, *stride); err != nil {
 			log.Fatal(err)
 		}
+	case *modelFile != "" && *csvPath != "" && *emitRequest > 0:
+		if err := emitRequestJSON(*modelFile, *csvPath, *emitRequest); err != nil {
+			log.Fatal(err)
+		}
+	case *modelFile != "" && *jsonPath != "":
+		if err := scoreRequestJSON(*modelFile, *jsonPath); err != nil {
+			log.Fatal(err)
+		}
 	case *modelFile != "" && *csvPath != "":
 		if err := loadAndScore(*modelFile, *csvPath); err != nil {
 			log.Fatal(err)
 		}
 	default:
-		log.Fatal("use -train (with -bench or -family) or -model-file FILE -csv FILE")
+		log.Fatal("use -train (with -bench or -family), -model-file FILE -csv FILE, or -model-file FILE -json REQ")
 	}
 }
 
@@ -108,26 +126,33 @@ func save(p *perfpred.Predictor, path string) error {
 	return nil
 }
 
-func loadAndScore(modelPath, csvPath string) error {
-	mf, err := os.Open(modelPath)
+// loadCSV loads a persisted model plus a CSV of configurations in its
+// schema, through the same loader (and Validate pass) the daemon's
+// registry uses.
+func loadCSV(modelPath, csvPath string) (*serve.Model, *perfpred.Dataset, error) {
+	m, err := serve.LoadModelFile(modelPath)
 	if err != nil {
-		return err
-	}
-	defer mf.Close()
-	p, err := perfpred.LoadPredictor(mf)
-	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	cf, err := os.Open(csvPath)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	defer cf.Close()
-	ds, err := perfpred.ReadDatasetCSV(cf, p.Encoder().Schema())
+	ds, err := perfpred.ReadDatasetCSV(cf, m.Pred.Encoder().Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, ds, nil
+}
+
+func loadAndScore(modelPath, csvPath string) error {
+	m, ds, err := loadCSV(modelPath, csvPath)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded %v model; scoring %d configurations from %s\n\n", p.Kind(), ds.Len(), csvPath)
+	p := m.Pred
+	fmt.Printf("loaded %v model %q; scoring %d configurations from %s\n\n", p.Kind(), m.Name, ds.Len(), csvPath)
 	sumAPE := 0.0
 	show := ds.Len()
 	if show > 10 {
@@ -153,6 +178,49 @@ func loadAndScore(modelPath, csvPath string) error {
 	}
 	fmt.Printf("\nmean absolute percentage error: %.2f%%\n", sumAPE/float64(ds.Len()))
 	return nil
+}
+
+// emitRequestJSON writes the serve-format predict request for the first
+// n CSV rows to stdout — the body can be POSTed to perfpredd's
+// /v1/predict verbatim, or scored offline with -json.
+func emitRequestJSON(modelPath, csvPath string, n int) error {
+	m, ds, err := loadCSV(modelPath, csvPath)
+	if err != nil {
+		return err
+	}
+	req, err := serve.RequestFromDataset(m.Name, ds, n)
+	if err != nil {
+		return err
+	}
+	return serve.EncodeJSON(os.Stdout, req)
+}
+
+// scoreRequestJSON scores a serve-format request file offline, through
+// the exact decode/validate/kernel path the daemon uses, and prints the
+// serve-format response.
+func scoreRequestJSON(modelPath, reqPath string) error {
+	m, err := serve.LoadModelFile(modelPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(reqPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	req, err := serve.DecodePredictRequest(f)
+	if err != nil {
+		return err
+	}
+	if req.Model != m.Name {
+		log.Printf("note: request names model %q, scoring with %q", req.Model, m.Name)
+		req.Model = m.Name
+	}
+	resp, err := serve.ScoreRequest(context.Background(), m, req)
+	if err != nil {
+		return err
+	}
+	return serve.EncodeJSON(os.Stdout, resp)
 }
 
 func abs(x float64) float64 {

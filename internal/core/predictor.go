@@ -151,10 +151,10 @@ func predictScratchFrom(ctx context.Context) *predictScratch {
 	return engine.WorkerLocal(ctx, predictScratchKey{}, func() any { return new(predictScratch) }).(*predictScratch)
 }
 
-// encodeChunk encodes rows [lo,hi) into the scratch's reused buffers and
-// returns the encoded matrix.
-func (p *Predictor) encodeChunk(ps *predictScratch, d *dataset.Dataset, lo, hi int) ([][]float64, error) {
-	n := hi - lo
+// encodeInto encodes n raw records (fetched by index through row) into
+// the scratch's reused buffers — one flat allocation backing all encoded
+// rows — and returns the encoded matrix.
+func (p *Predictor) encodeInto(ps *predictScratch, n int, row func(i int) []dataset.Value) ([][]float64, error) {
 	width := p.enc.NumColumns()
 	if cap(ps.flat) < n*width {
 		ps.flat = make([]float64, n*width)
@@ -166,11 +166,57 @@ func (p *Predictor) encodeChunk(ps *predictScratch, d *dataset.Dataset, lo, hi i
 	rows := ps.rows[:n]
 	for i := 0; i < n; i++ {
 		rows[i] = flat[i*width : (i+1)*width]
-		if err := p.enc.EncodeRowInto(rows[i], d.Row(lo+i)); err != nil {
+		if err := p.enc.EncodeRowInto(rows[i], row(i)); err != nil {
 			return nil, err
 		}
 	}
 	return rows, nil
+}
+
+// encodeChunk encodes rows [lo,hi) into the scratch's reused buffers and
+// returns the encoded matrix.
+func (p *Predictor) encodeChunk(ps *predictScratch, d *dataset.Dataset, lo, hi int) ([][]float64, error) {
+	return p.encodeInto(ps, hi-lo, func(i int) []dataset.Value { return d.Row(lo + i) })
+}
+
+// scoreEncoded runs the batched model kernel over encoded rows, writing
+// raw-unit predictions into out (len(out) == len(rows)).
+func (p *Predictor) scoreEncoded(ps *predictScratch, out []float64, rows [][]float64) {
+	if p.nn != nil {
+		if ps.nn == nil {
+			ps.nn = neural.NewScratch()
+		}
+		p.nn.PredictAllInto(out, rows, ps.nn)
+		for i := range out {
+			out[i] = p.enc.UnscaleTarget(out[i])
+		}
+		return
+	}
+	for i, row := range rows {
+		out[i] = p.enc.UnscaleTarget(p.lr.Predict(row))
+	}
+}
+
+// PredictRowsInto scores a batch of raw records into out, which must
+// have len(rows) elements. It is the serving path's kernel entry: rows
+// are encoded into worker-local flat buffers (engine.WorkerLocal — give
+// long-lived callers a context from engine.NewWorkerContext) and
+// streamed through the batched kernel, so steady-state calls allocate
+// nothing and produce predictions bit-identical to Predict on each row.
+func (p *Predictor) PredictRowsInto(ctx context.Context, out []float64, rows [][]dataset.Value) error {
+	if len(out) != len(rows) {
+		return fmt.Errorf("core: PredictRowsInto out has %d slots for %d rows", len(out), len(rows))
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ps := predictScratchFrom(ctx)
+	enc, err := p.encodeInto(ps, len(rows), func(i int) []dataset.Value { return rows[i] })
+	if err != nil {
+		return err
+	}
+	p.scoreEncoded(ps, out, enc)
+	return nil
 }
 
 // PredictDataset scores every record of a dataset. Large datasets (the
@@ -195,19 +241,7 @@ func (p *Predictor) PredictDataset(ctx context.Context, d *dataset.Dataset) ([]f
 		if err != nil {
 			return err
 		}
-		if p.nn != nil {
-			if ps.nn == nil {
-				ps.nn = neural.NewScratch()
-			}
-			p.nn.PredictAllInto(out[lo:hi], rows, ps.nn)
-			for i := lo; i < hi; i++ {
-				out[i] = p.enc.UnscaleTarget(out[i])
-			}
-		} else {
-			for i, row := range rows {
-				out[lo+i] = p.enc.UnscaleTarget(p.lr.Predict(row))
-			}
-		}
+		p.scoreEncoded(ps, out[lo:hi], rows)
 		if p.hook != nil {
 			p.hook.Emit(engine.Event{
 				Kind: engine.KernelTime, Label: "predict " + p.kind.String(),

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/engine"
+)
+
+// TestPredictRowsIntoMatchesPredict pins the serving batch entry to the
+// per-row scalar path: for both model families, PredictRowsInto over a
+// slice of raw rows must be bit-identical to Predict called row by row.
+func TestPredictRowsIntoMatchesPredict(t *testing.T) {
+	d := synthSpace(t, 96, 5)
+	for _, kind := range []ModelKind{LRE, NNS} {
+		p, err := Train(context.Background(), kind, d, quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([][]dataset.Value, d.Len())
+		for i := range rows {
+			rows[i] = d.Row(i)
+		}
+		out := make([]float64, len(rows))
+		if err := p.PredictRowsInto(context.Background(), out, rows); err != nil {
+			t.Fatal(err)
+		}
+		for i, row := range rows {
+			want, err := p.Predict(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[i] != want {
+				t.Fatalf("%v row %d: PredictRowsInto = %v, Predict = %v (not bit-identical)", kind, i, out[i], want)
+			}
+		}
+		// Length mismatch and bad rows are rejected, not sliced around.
+		if err := p.PredictRowsInto(context.Background(), make([]float64, 1), rows); err == nil {
+			t.Fatalf("%v: out/rows length mismatch accepted", kind)
+		}
+		bad := [][]dataset.Value{{dataset.Num(1)}}
+		if err := p.PredictRowsInto(context.Background(), make([]float64, 1), bad); err == nil {
+			t.Fatalf("%v: short row accepted", kind)
+		}
+	}
+}
+
+// TestPredictRowsIntoZeroAlloc pins the serving hot path: with a
+// worker-local context, steady-state batch scoring allocates nothing.
+func TestPredictRowsIntoZeroAlloc(t *testing.T) {
+	d := synthSpace(t, 64, 7)
+	p, err := Train(context.Background(), NNS, d, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]dataset.Value, d.Len())
+	for i := range rows {
+		rows[i] = d.Row(i)
+	}
+	out := make([]float64, len(rows))
+	ctx := engine.NewWorkerContext(context.Background())
+	// Warm the worker-local scratch, then demand zero allocations.
+	if err := p.PredictRowsInto(ctx, out, rows); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := p.PredictRowsInto(ctx, out, rows); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictRowsInto allocates %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+func TestLoadPredictorFile(t *testing.T) {
+	d := synthSpace(t, 64, 11)
+	p, err := Train(context.Background(), LRE, d, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadPredictorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != LRE {
+		t.Fatalf("loaded kind %v, want LR-E", got.Kind())
+	}
+	want, err := p.Predict(d.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := got.Predict(d.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != want {
+		t.Fatalf("loaded predictor predicts %v, original %v", y, want)
+	}
+
+	if _, err := LoadPredictorFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictorFile(badPath); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}
+
+// TestValidateCatchesWidthMismatch corrupts a serialized artifact so the
+// model payload and encoder disagree on input width, and checks the
+// registry loader rejects it.
+func TestValidateCatchesWidthMismatch(t *testing.T) {
+	d := synthSpace(t, 64, 13)
+	p, err := Train(context.Background(), NNS, d, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("freshly trained predictor invalid: %v", err)
+	}
+
+	// Pair this predictor's model payload with an encoder fitted on a
+	// narrower schema.
+	narrow := synthNarrow(t)
+	q, err := Train(context.Background(), NNS, narrow, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frank := &Predictor{kind: p.kind, enc: q.enc, nn: p.nn}
+	err = frank.Validate()
+	if err == nil {
+		t.Fatal("width-mismatched predictor validated")
+	}
+	if !strings.Contains(err.Error(), "inputs") {
+		t.Errorf("unexpected validation error: %v", err)
+	}
+}
+
+// synthNarrow builds a tiny dataset with fewer encoded columns than
+// synthSpace produces.
+func synthNarrow(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	s, err := dataset.NewSchema("cycles",
+		dataset.Field{Name: "size", Kind: dataset.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dataset.New(s)
+	for i := 0; i < 16; i++ {
+		if err := d.Append([]dataset.Value{dataset.Num(float64(16 + i))}, float64(1000-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 
 	"perfpred/internal/dataset"
 	"perfpred/internal/linreg"
@@ -96,4 +97,52 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 		return nil, err
 	}
 	return UnmarshalPredictor(data)
+}
+
+// LoadPredictorFile reads and validates a predictor from a JSON file —
+// the registry-facing loader shared by the serving daemon and the
+// predict CLI, so both reject the same malformed artifacts.
+func LoadPredictorFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading predictor: %w", err)
+	}
+	defer f.Close()
+	p, err := LoadPredictor(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading predictor %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loading predictor %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Validate cross-checks the predictor's model payload against its fitted
+// encoder: the model's expected input width must match the encoder's
+// column count. Deserialization already guarantees kind/payload
+// consistency; this catches artifacts assembled from mismatched parts
+// (e.g. a hand-edited file pairing one run's weights with another run's
+// encoder).
+func (p *Predictor) Validate() error {
+	if p.enc == nil {
+		return fmt.Errorf("core: predictor has no encoder")
+	}
+	width := p.enc.NumColumns()
+	if width == 0 {
+		return fmt.Errorf("core: predictor encoder has no input columns")
+	}
+	var got int
+	switch {
+	case p.nn != nil:
+		got = p.nn.NumInputs()
+	case p.lr != nil:
+		got = p.lr.NumInputs()
+	default:
+		return fmt.Errorf("core: predictor has no model payload")
+	}
+	if got != width {
+		return fmt.Errorf("core: predictor %v expects %d inputs but its encoder produces %d columns", p.kind, got, width)
+	}
+	return nil
 }

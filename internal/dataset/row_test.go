@@ -1,0 +1,79 @@
+package dataset
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func rowTestSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("perf",
+		Field{Name: "freq", Kind: Numeric},
+		Field{Name: "l2", Kind: Flag},
+		Field{Name: "family", Kind: Categorical},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRowFromAnyValid(t *testing.T) {
+	s := rowTestSchema(t)
+	row, err := s.RowFromAny([]any{3000.0, true, "Xeon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := row[0].Float(); got != 3000 {
+		t.Errorf("numeric = %v, want 3000", got)
+	}
+	if !row[1].Bool() {
+		t.Error("flag = false, want true")
+	}
+	if got := row[2].Label(); got != "Xeon" {
+		t.Errorf("categorical = %q, want Xeon", got)
+	}
+	// json.Number from a UseNumber decoder works the same.
+	row, err = s.RowFromAny([]any{json.Number("2.5e3"), false, "Opteron"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := row[0].Float(); got != 2500 {
+		t.Errorf("json.Number numeric = %v, want 2500", got)
+	}
+}
+
+func TestRowFromAnyRejects(t *testing.T) {
+	s := rowTestSchema(t)
+	cases := []struct {
+		name string
+		vals []any
+		want string
+	}{
+		{"short row", []any{3000.0, true}, "schema has 3 fields"},
+		{"long row", []any{3000.0, true, "Xeon", 1.0}, "schema has 3 fields"},
+		{"string for numeric", []any{"NaN", true, "Xeon"}, `field "freq"`},
+		{"nan number", []any{math.NaN(), true, "Xeon"}, "non-finite"},
+		{"inf number", []any{math.Inf(1), true, "Xeon"}, "non-finite"},
+		{"overflowing literal", []any{json.Number("1e999"), true, "Xeon"}, "non-finite"},
+		{"number for flag", []any{3000.0, 1.0, "Xeon"}, `field "l2"`},
+		{"null for flag", []any{3000.0, nil, "Xeon"}, "null"},
+		{"number for categorical", []any{3000.0, true, 7.0}, `field "family"`},
+		{"empty category", []any{3000.0, true, ""}, "empty category"},
+		{"huge category", []any{3000.0, true, strings.Repeat("x", MaxCategoryLen+1)}, "longer than"},
+		{"nested array", []any{[]any{1.0}, true, "Xeon"}, "an array"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := s.RowFromAny(tc.vals)
+			if err == nil {
+				t.Fatalf("RowFromAny(%v) accepted, want error containing %q", tc.vals, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}

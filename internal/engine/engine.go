@@ -284,6 +284,18 @@ func withWorkerState(ctx context.Context) context.Context {
 	return context.WithValue(ctx, workerStateKey{}, &workerState{vals: make(map[any]any)})
 }
 
+// NewWorkerContext returns a copy of ctx carrying a fresh worker-local
+// store, for long-lived single-goroutine workers that live outside any
+// Run pool (e.g. a serving loop's batch executors). Values fetched
+// through WorkerLocal on the returned context are cached for the
+// context's lifetime, so a goroutine that creates one context at startup
+// gets the same scratch-reuse guarantees as a pool worker. The store is
+// not synchronized: the returned context must stay confined to one
+// goroutine.
+func NewWorkerContext(ctx context.Context) context.Context {
+	return withWorkerState(ctx)
+}
+
 // WorkerLocal returns the value stored under key in the current engine
 // worker's local store, creating it with create on first use. The pool
 // owns the store's lifetime: one store per worker goroutine per Run, so a

@@ -396,6 +396,11 @@ func (m *Model) PredictAll(x [][]float64) []float64 {
 // Intercept returns the fitted intercept β₀.
 func (m *Model) Intercept() float64 { return m.intercept }
 
+// NumInputs returns the width of the input rows the model expects —
+// registry loaders use it to cross-check a deserialized model against
+// its encoder.
+func (m *Model) NumInputs() int { return len(m.coef) }
+
 // Coefficients returns the fitted coefficient table (selected predictors
 // only), in design-column order.
 func (m *Model) Coefficients() []Coefficient {

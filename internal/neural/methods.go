@@ -109,6 +109,11 @@ type Model struct {
 // Predict returns the model's prediction for one encoded input row.
 func (m *Model) Predict(x []float64) float64 { return m.net.Predict1(x) }
 
+// NumInputs returns the width of the input rows the model expects —
+// registry loaders use it to cross-check a deserialized model against
+// its encoder.
+func (m *Model) NumInputs() int { return m.net.NumInputs() }
+
 // PredictAll returns predictions for a batch of rows via the batched
 // forward kernel (one scratch for the whole batch, no per-row allocation).
 func (m *Model) PredictAll(x [][]float64) []float64 {

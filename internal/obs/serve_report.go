@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Canonical serving metric names. The serving daemon's admission queue,
+// micro-batcher and HTTP handlers record into these registry entries,
+// and BuildServeReport reads the same names back out of a snapshot, so
+// the live /metrics endpoint and the end-of-life ServeReport can never
+// disagree about what was measured.
+const (
+	// MetricServeRequests counts accepted /v1/predict requests.
+	MetricServeRequests = "serve.requests"
+	// MetricServePredictions counts scored rows (a batch body counts
+	// once per row).
+	MetricServePredictions = "serve.predictions"
+	// MetricServeBatches counts kernel invocations — coalesced batches
+	// the micro-batcher executed.
+	MetricServeBatches = "serve.batches"
+	// MetricServeShed counts requests rejected with 429 because the
+	// admission queue was full.
+	MetricServeShed = "serve.shed"
+	// MetricServeErrors counts requests that failed after admission
+	// (validation, encoding, deadline).
+	MetricServeErrors = "serve.errors"
+	// MetricServeReloads counts successful registry reloads.
+	MetricServeReloads = "serve.reloads"
+	// MetricServeBatchSize observes the row count of each executed batch.
+	MetricServeBatchSize = "serve.batch_size"
+	// MetricServeQueueWait observes seconds a request sat in the
+	// admission queue before its batch started.
+	MetricServeQueueWait = "serve.queue_wait_seconds"
+	// MetricServeLatency observes end-to-end /v1/predict handler seconds.
+	MetricServeLatency = "serve.latency_seconds"
+	// MetricServeKernel observes seconds inside the encode+predict
+	// kernel per batch.
+	MetricServeKernel = "serve.kernel_seconds"
+	// MetricServeQueueDepth gauges the admission-queue depth sampled at
+	// each batch start.
+	MetricServeQueueDepth = "serve.queue_depth"
+)
+
+// ServeReportVersion is the current ServeReport schema version.
+const ServeReportVersion = 1
+
+// ServeMeta identifies one daemon lifetime for its ServeReport.
+type ServeMeta struct {
+	// Addr is the bound listen address.
+	Addr string
+	// ModelsDir is the registry's model directory.
+	ModelsDir string
+	// Models lists the registry's model names at snapshot time.
+	Models []string
+	// Generation is the registry's reload generation (1 = initial load).
+	Generation int64
+	// Uptime is how long the daemon has been serving.
+	Uptime time.Duration
+}
+
+// ServeReport is the machine-readable record of one serving daemon's
+// lifetime — the serving analogue of RunReport: what was served (models,
+// registry generation), how much (request/prediction/batch/shed
+// counters) and how fast (batch-size, queue-wait, latency and kernel
+// histograms). The daemon exposes it live on /v1/report and writes it at
+// shutdown behind -report.
+type ServeReport struct {
+	// Version is the schema version (ServeReportVersion).
+	Version int `json:"version"`
+	// Addr is the daemon's bound listen address.
+	Addr string `json:"addr,omitempty"`
+	// ModelsDir is the registry's model directory.
+	ModelsDir string `json:"models_dir,omitempty"`
+	// Models lists the served model names, sorted.
+	Models []string `json:"models,omitempty"`
+	// Generation is the registry's reload generation.
+	Generation int64 `json:"generation"`
+	// UptimeSeconds is the daemon's serving time at snapshot.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Requests, Predictions, Batches, Shed, Errors and Reloads are the
+	// lifetime counters (see the MetricServe* names).
+	Requests    int64 `json:"requests"`
+	Predictions int64 `json:"predictions"`
+	Batches     int64 `json:"batches"`
+	Shed        int64 `json:"shed"`
+	Errors      int64 `json:"errors"`
+	Reloads     int64 `json:"reloads"`
+
+	// BatchSize, QueueWaitSeconds, LatencySeconds and KernelSeconds
+	// summarize the timing histograms.
+	BatchSize        HistogramStats `json:"batch_size"`
+	QueueWaitSeconds HistogramStats `json:"queue_wait_seconds"`
+	LatencySeconds   HistogramStats `json:"latency_seconds"`
+	KernelSeconds    HistogramStats `json:"kernel_seconds"`
+
+	// Metrics is the full raw snapshot the summary fields were read
+	// from, for anything the typed fields leave out.
+	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// BuildServeReport snapshots the registry into a ServeReport.
+func BuildServeReport(meta ServeMeta, reg *Registry) *ServeReport {
+	r := &ServeReport{
+		Version:       ServeReportVersion,
+		Addr:          meta.Addr,
+		ModelsDir:     meta.ModelsDir,
+		Models:        append([]string(nil), meta.Models...),
+		Generation:    meta.Generation,
+		UptimeSeconds: meta.Uptime.Seconds(),
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		r.Requests = snap.Counters[MetricServeRequests]
+		r.Predictions = snap.Counters[MetricServePredictions]
+		r.Batches = snap.Counters[MetricServeBatches]
+		r.Shed = snap.Counters[MetricServeShed]
+		r.Errors = snap.Counters[MetricServeErrors]
+		r.Reloads = snap.Counters[MetricServeReloads]
+		r.BatchSize = snap.Histograms[MetricServeBatchSize]
+		r.QueueWaitSeconds = snap.Histograms[MetricServeQueueWait]
+		r.LatencySeconds = snap.Histograms[MetricServeLatency]
+		r.KernelSeconds = snap.Histograms[MetricServeKernel]
+		r.Metrics = &snap
+	}
+	return r
+}
+
+// Validate checks structural invariants: supported version, non-negative
+// counters, and finite numbers everywhere (JSON cannot carry NaN/Inf).
+func (r *ServeReport) Validate() error {
+	if r == nil {
+		return errors.New("obs: nil serve report")
+	}
+	if r.Version != ServeReportVersion {
+		return fmt.Errorf("obs: unsupported serve report version %d (want %d)", r.Version, ServeReportVersion)
+	}
+	for name, v := range map[string]int64{
+		"requests": r.Requests, "predictions": r.Predictions, "batches": r.Batches,
+		"shed": r.Shed, "errors": r.Errors, "reloads": r.Reloads, "generation": r.Generation,
+	} {
+		if v < 0 {
+			return fmt.Errorf("obs: serve report %s is negative", name)
+		}
+	}
+	if !isFinite(r.UptimeSeconds) || r.UptimeSeconds < 0 {
+		return errors.New("obs: serve report uptime is invalid")
+	}
+	for name, h := range map[string]HistogramStats{
+		"batch_size": r.BatchSize, "queue_wait_seconds": r.QueueWaitSeconds,
+		"latency_seconds": r.LatencySeconds, "kernel_seconds": r.KernelSeconds,
+	} {
+		for _, v := range []float64{h.Sum, h.Min, h.Max, h.Mean, h.P50, h.P95, h.P99} {
+			if !isFinite(v) {
+				return fmt.Errorf("obs: serve report histogram %s has non-finite value", name)
+			}
+		}
+		if h.Count < 0 {
+			return fmt.Errorf("obs: serve report histogram %s has negative count", name)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *ServeReport) WriteJSON(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path as indented JSON.
+func (r *ServeReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: writing serve report: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadServeReport parses and validates a serve report.
+func ReadServeReport(r io.Reader) (*ServeReport, error) {
+	var rep ServeReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("obs: decoding serve report: %w", err)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// ReadServeReportFile reads a serve report from a JSON file.
+func ReadServeReportFile(path string) (*ServeReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading serve report: %w", err)
+	}
+	defer f.Close()
+	return ReadServeReport(f)
+}

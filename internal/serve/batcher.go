@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/engine"
+)
+
+// ErrOverloaded is returned (and mapped to 429 + Retry-After) when the
+// admission queue is full: the daemon sheds the request instead of
+// letting latency grow without bound.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// ErrDraining is returned (and mapped to 503) for requests arriving
+// after shutdown began.
+var ErrDraining = errors.New("serve: server draining")
+
+// BatcherConfig sizes the micro-batcher.
+type BatcherConfig struct {
+	// QueueDepth bounds the admission queue (queued requests, not rows);
+	// a full queue sheds with ErrOverloaded. Default 256.
+	QueueDepth int
+	// MaxBatch caps the rows coalesced into one kernel call. Default 64.
+	MaxBatch int
+	// MaxWait is how long an idle batch worker lingers for more requests
+	// after picking up the first one, trading that bounded latency for
+	// bigger kernel batches. 0 coalesces only already-queued requests.
+	// Default 500µs.
+	MaxWait time.Duration
+	// Workers is the number of batch-executor goroutines, each owning
+	// engine worker-local scratch. Default GOMAXPROCS.
+	Workers int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait < 0 {
+		c.MaxWait = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// scoreFunc scores rows of one model into out (len(out) == total rows).
+// The production implementation is Predictor.PredictRowsInto; tests
+// inject stubs to pin shed and drain behaviour.
+type scoreFunc func(ctx context.Context, m *Model, rows [][]dataset.Value, out []float64) error
+
+// request is one admitted prediction (single row or a whole batch body —
+// either way it occupies one queue slot).
+type request struct {
+	ctx       context.Context
+	m         *Model
+	rows      [][]dataset.Value
+	out       []float64
+	done      chan error
+	submitted time.Time
+}
+
+// Batcher funnels predictions through a bounded admission queue into
+// coalescing batch workers. Each worker goroutine owns an engine
+// worker-local context, so the encode buffers and neural scratch behind
+// PredictRowsInto are allocated once per worker and reused for every
+// batch it ever executes — the serving path stays on the PR-3
+// zero-allocation kernels in steady state.
+type Batcher struct {
+	cfg      BatcherConfig
+	score    scoreFunc
+	met      *metrics
+	queue    chan *request
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	draining atomic.Bool
+}
+
+// newBatcher starts cfg.Workers batch executors.
+func newBatcher(cfg BatcherConfig, met *metrics, score scoreFunc) *Batcher {
+	cfg = cfg.withDefaults()
+	b := &Batcher{
+		cfg:   cfg,
+		score: score,
+		met:   met,
+		queue: make(chan *request, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		b.wg.Add(1)
+		go b.worker()
+	}
+	return b
+}
+
+// Predict admits rows for one model and blocks until the batch worker
+// delivers the predictions, the request's context expires, or the
+// request is shed. Admission is non-blocking: a full queue returns
+// ErrOverloaded immediately. The returned slice is owned by the caller.
+func (b *Batcher) Predict(ctx context.Context, m *Model, rows [][]dataset.Value) ([]float64, error) {
+	if b.draining.Load() {
+		return nil, ErrDraining
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := &request{
+		ctx:       ctx,
+		m:         m,
+		rows:      rows,
+		out:       make([]float64, len(rows)),
+		done:      make(chan error, 1),
+		submitted: time.Now(),
+	}
+	select {
+	case b.queue <- req:
+	default:
+		b.met.shed.Inc()
+		return nil, ErrOverloaded
+	}
+	select {
+	case err := <-req.done:
+		if err != nil {
+			return nil, err
+		}
+		return req.out, nil
+	case <-ctx.Done():
+		// The worker may still score the request; done is buffered so it
+		// never blocks on an abandoned request.
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops admission and waits until the workers have drained every
+// queued request — nothing admitted before Close is left unanswered.
+func (b *Batcher) Close() {
+	if b.draining.CompareAndSwap(false, true) {
+		close(b.stop)
+	}
+	b.wg.Wait()
+}
+
+// workerScratch is one worker's reusable batch-assembly buffers.
+type workerScratch struct {
+	batch []*request
+	group []*request
+	live  []*request
+	rows  [][]dataset.Value
+	out   []float64
+}
+
+func (b *Batcher) worker() {
+	defer b.wg.Done()
+	// One worker-local store per goroutine for the batcher's lifetime:
+	// every PredictRowsInto this worker runs reuses the same encode
+	// buffers and neural scratch.
+	wctx := engine.NewWorkerContext(context.Background())
+	ws := &workerScratch{}
+	for {
+		select {
+		case req := <-b.queue:
+			b.runBatch(wctx, ws, req)
+		case <-b.stop:
+			for {
+				select {
+				case req := <-b.queue:
+					b.runBatch(wctx, ws, req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runBatch coalesces queued requests behind first (up to MaxBatch total
+// rows, lingering MaxWait for stragglers), then executes them grouped by
+// model.
+func (b *Batcher) runBatch(wctx context.Context, ws *workerScratch, first *request) {
+	b.met.queueDepth.Set(float64(len(b.queue)))
+	batch := append(ws.batch[:0], first)
+	total := len(first.rows)
+	var timer *time.Timer
+gather:
+	for total < b.cfg.MaxBatch {
+		select {
+		case req := <-b.queue:
+			batch = append(batch, req)
+			total += len(req.rows)
+		default:
+			if b.cfg.MaxWait <= 0 || b.draining.Load() {
+				break gather
+			}
+			if timer == nil {
+				timer = time.NewTimer(b.cfg.MaxWait)
+			}
+			select {
+			case req := <-b.queue:
+				batch = append(batch, req)
+				total += len(req.rows)
+			case <-timer.C:
+				break gather
+			case <-b.stop:
+				break gather
+			}
+		}
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+	ws.batch = batch
+
+	// Execute per-model groups: a stable partition keeps arrival order
+	// within each group, so results are assigned by position.
+	remaining := batch
+	for len(remaining) > 0 {
+		m := remaining[0].m
+		group := ws.group[:0]
+		// In-place filter: writes to keep never outrun the range reads.
+		keep := remaining[:0]
+		for _, req := range remaining {
+			if req.m == m {
+				group = append(group, req)
+			} else {
+				keep = append(keep, req)
+			}
+		}
+		ws.group = group
+		b.scoreGroup(wctx, ws, m, group)
+		remaining = keep
+	}
+}
+
+// scoreGroup flattens one model's requests into a single kernel call and
+// fans the results back out. If the combined batch fails and held more
+// than one request, each request is rescored alone so one bad row only
+// fails its own request.
+func (b *Batcher) scoreGroup(wctx context.Context, ws *workerScratch, m *Model, group []*request) {
+	now := time.Now()
+	live := ws.live[:0]
+	rows := ws.rows[:0]
+	for _, req := range group {
+		b.met.queueWait.Observe(now.Sub(req.submitted).Seconds())
+		// Propagated per-request deadline: a request whose context
+		// expired while queued is answered with its context error, not
+		// scored.
+		if err := req.ctx.Err(); err != nil {
+			b.met.errors.Inc()
+			req.done <- err
+			continue
+		}
+		live = append(live, req)
+		rows = append(rows, req.rows...)
+	}
+	ws.live, ws.rows = live, rows
+	if len(live) == 0 {
+		return
+	}
+	if cap(ws.out) < len(rows) {
+		ws.out = make([]float64, len(rows))
+	}
+	out := ws.out[:len(rows)]
+
+	kstart := time.Now()
+	err := b.score(wctx, m, rows, out)
+	b.met.kernel.Observe(time.Since(kstart).Seconds())
+	b.met.batches.Inc()
+	b.met.batchSize.Observe(float64(len(rows)))
+
+	if err != nil && len(live) > 1 {
+		for _, req := range live {
+			b.finish(req, b.score(wctx, req.m, req.rows, req.out))
+		}
+		return
+	}
+	off := 0
+	for _, req := range live {
+		if err == nil {
+			copy(req.out, out[off:off+len(req.rows)])
+		}
+		off += len(req.rows)
+		b.finish(req, err)
+	}
+}
+
+// finish records the outcome and releases the waiting caller.
+func (b *Batcher) finish(req *request, err error) {
+	if err == nil {
+		b.met.predictions.Add(int64(len(req.rows)))
+	} else {
+		b.met.errors.Inc()
+	}
+	req.done <- err
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"perfpred/internal/dataset"
+)
+
+// EncodeJSON writes v in the daemon's wire encoding (two-space indent,
+// trailing newline) so CLI output and HTTP bodies are byte-comparable.
+func EncodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// valueToAny renders one dataset cell in the wire format RowFromAny
+// accepts back.
+func valueToAny(v dataset.Value) any {
+	switch v.Kind() {
+	case dataset.Numeric:
+		return v.Float()
+	case dataset.Flag:
+		return v.Bool()
+	default:
+		return v.Label()
+	}
+}
+
+// RequestFromDataset builds the wire-format predict request for the
+// first n rows of a dataset (all rows when n <= 0 or exceeds the
+// dataset) — how the predict CLI and the e2e smoke test derive real
+// request bodies from specgen/WriteCSV data instead of hand-writing
+// JSON.
+func RequestFromDataset(model string, d *dataset.Dataset, n int) (*PredictRequest, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("serve: empty dataset")
+	}
+	if n <= 0 || n > d.Len() {
+		n = d.Len()
+	}
+	if n > MaxRowsPerRequest {
+		n = MaxRowsPerRequest
+	}
+	rows := make([][]any, n)
+	for i := 0; i < n; i++ {
+		src := d.Row(i)
+		row := make([]any, len(src))
+		for j, v := range src {
+			row[j] = valueToAny(v)
+		}
+		rows[i] = row
+	}
+	if n == 1 {
+		return &PredictRequest{Model: model, Row: rows[0]}, nil
+	}
+	return &PredictRequest{Model: model, Rows: rows}, nil
+}
+
+// ScoreRequest resolves and scores a wire-format request directly
+// against a loaded model — the offline path the predict CLI shares with
+// the daemon: identical decoding, identical validation, identical batch
+// kernel (PredictRowsInto), so a request file scored locally and the
+// same body POSTed to /v1/predict return bit-identical predictions.
+func ScoreRequest(ctx context.Context, m *Model, req *PredictRequest) (*PredictResponse, error) {
+	rows, err := req.Resolve(m.Pred.Encoder().Schema())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rows))
+	if err := m.Pred.PredictRowsInto(ctx, out, rows); err != nil {
+		return nil, err
+	}
+	for i, y := range out {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil, fmt.Errorf("serve: row %d produced a non-finite prediction", i)
+		}
+	}
+	resp := &PredictResponse{
+		Model:       req.Model,
+		Kind:        m.Pred.Kind().String(),
+		N:           len(out),
+		Predictions: out,
+	}
+	if req.Single() {
+		resp.Prediction = &out[0]
+	}
+	return resp, nil
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"perfpred/internal/dataset"
+)
+
+// Limits on untrusted /v1/predict bodies. MaxRequestBytes bounds the
+// JSON body the server will read; MaxRowsPerRequest bounds how many rows
+// one batch body may carry (larger sweeps should be paginated — one
+// request is one admission-queue slot, and an unbounded body would let a
+// single client monopolize a batch worker).
+const (
+	MaxRequestBytes   = 8 << 20
+	MaxRowsPerRequest = 4096
+)
+
+// PredictRequest is the /v1/predict body — the batch JSON schema shared
+// verbatim by the daemon and the predict CLI. Exactly one of Row
+// (single point) or Rows (batch) must be set. Feature values are listed
+// in schema field order: numbers for numeric fields, booleans for flags,
+// strings for categoricals — the same column convention as the CSVs
+// written by specgen / Dataset.WriteCSV, minus the target column.
+type PredictRequest struct {
+	// Model names the registry model to score against.
+	Model string `json:"model"`
+	// Row is a single feature vector.
+	Row []any `json:"row,omitempty"`
+	// Rows is a batch of feature vectors.
+	Rows [][]any `json:"rows,omitempty"`
+}
+
+// DecodePredictRequest strictly decodes a request body: unknown fields
+// are rejected, numbers are kept as json.Number so overflowing literals
+// (1e999) surface as validation errors instead of silently becoming
+// ±Inf, and trailing garbage after the JSON value is an error. It
+// performs the structural checks that need no schema (model name
+// present, exactly one of row/rows, row-count bounds); per-field
+// validation happens in [PredictRequest.Resolve] once the model — and
+// therefore the schema — is known.
+func DecodePredictRequest(r io.Reader) (*PredictRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxRequestBytes+1))
+	dec.UseNumber()
+	dec.DisallowUnknownFields()
+	var req PredictRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("serve: decoding predict request: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("serve: predict request has trailing data after the JSON body")
+	}
+	if req.Model == "" {
+		return nil, errors.New("serve: predict request has no model")
+	}
+	if (req.Row == nil) == (req.Rows == nil) {
+		return nil, errors.New("serve: predict request must set exactly one of row, rows")
+	}
+	if req.Rows != nil {
+		if len(req.Rows) == 0 {
+			return nil, errors.New("serve: predict request rows is empty")
+		}
+		if len(req.Rows) > MaxRowsPerRequest {
+			return nil, fmt.Errorf("serve: predict request has %d rows (max %d)", len(req.Rows), MaxRowsPerRequest)
+		}
+	}
+	return &req, nil
+}
+
+// Single reports whether the request used the single-row form.
+func (q *PredictRequest) Single() bool { return q.Row != nil }
+
+// Resolve validates the request's feature values against a model's
+// schema and converts them into record rows. Every error is a client
+// error: wrong arity, wrong types, non-finite numbers.
+func (q *PredictRequest) Resolve(s *dataset.Schema) ([][]dataset.Value, error) {
+	raw := q.Rows
+	if q.Row != nil {
+		raw = [][]any{q.Row}
+	}
+	rows := make([][]dataset.Value, len(raw))
+	for i, vals := range raw {
+		row, err := s.RowFromAny(vals)
+		if err != nil {
+			return nil, fmt.Errorf("serve: row %d: %w", i, err)
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// PredictResponse is the /v1/predict response body.
+type PredictResponse struct {
+	// Model and Kind identify what scored the request.
+	Model string `json:"model"`
+	Kind  string `json:"kind"`
+	// N is the number of scored rows.
+	N int `json:"n"`
+	// Prediction is set for single-row requests.
+	Prediction *float64 `json:"prediction,omitempty"`
+	// Predictions lists one prediction per request row, in order, in
+	// original target units.
+	Predictions []float64 `json:"predictions"`
+}
+
+// FieldInfo describes one schema field in a ModelInfo.
+type FieldInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// ModelInfo is one registry entry in the /v1/models response — enough
+// schema for a client to build valid predict requests.
+type ModelInfo struct {
+	Name     string      `json:"name"`
+	Kind     string      `json:"kind"`
+	Target   string      `json:"target"`
+	Fields   []FieldInfo `json:"fields"`
+	Columns  int         `json:"columns"`
+	LoadedAt string      `json:"loaded_at"`
+}
+
+// ModelsResponse is the /v1/models response body.
+type ModelsResponse struct {
+	Generation int64       `json:"generation"`
+	Models     []ModelInfo `json:"models"`
+}
+
+// ReloadResponse is the /admin/reload response body.
+type ReloadResponse struct {
+	Generation int64    `json:"generation"`
+	Models     []string `json:"models"`
+}
+
+// ErrorResponse is the JSON error envelope for non-2xx responses.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// infoFor summarizes a registry model for /v1/models.
+func infoFor(m *Model) ModelInfo {
+	s := m.Pred.Encoder().Schema()
+	fields := make([]FieldInfo, len(s.Fields))
+	for i, f := range s.Fields {
+		fields[i] = FieldInfo{Name: f.Name, Kind: f.Kind.String()}
+	}
+	return ModelInfo{
+		Name:     m.Name,
+		Kind:     m.Pred.Kind().String(),
+		Target:   s.Target,
+		Fields:   fields,
+		Columns:  m.Pred.Encoder().NumColumns(),
+		LoadedAt: m.LoadedAt.UTC().Format("2006-01-02T15:04:05Z"),
+	}
+}

@@ -1,0 +1,72 @@
+// Package serve is the model-serving subsystem behind cmd/perfpredd: a
+// stdlib-only HTTP daemon that turns trained surrogate predictors into a
+// long-lived query service — the deployment shape the paper's Figure 1
+// implies once a design team stops retraining per question and starts
+// asking the surrogate for every point in a design space.
+//
+// The package is three cooperating pieces:
+//
+//   - [Registry]: loads a directory of predictors serialized by
+//     core.Predictor.Save into named, versioned models and swaps the
+//     whole catalog atomically on reload (SIGHUP or POST /admin/reload),
+//     so lookups never observe a half-loaded state and a failed reload
+//     keeps the previous catalog serving.
+//   - [Batcher]: a micro-batcher that funnels every prediction through a
+//     bounded admission queue. Worker goroutines coalesce concurrent
+//     requests into one flat core.Predictor.PredictRowsInto kernel call
+//     on engine worker-local scratch (the PR-3 zero-allocation batch
+//     path), shed load with [ErrOverloaded] when the queue is full, and
+//     drain the queue completely on shutdown.
+//   - [Server]: the HTTP surface — POST /v1/predict (single row or
+//     batch), GET /v1/models, GET /v1/report, POST /admin/reload,
+//     GET /healthz — plus the obs metrics endpoints (/metrics JSON,
+//     /debug/vars expvar, /debug/pprof) fed by the serve.* counters and
+//     histograms named in the obs package.
+//
+// Batching never changes answers: the batched kernel is bit-identical to
+// per-row Predict, so any coalescing of concurrent requests returns
+// exactly the predictions a sequential client would have seen.
+package serve
+
+import (
+	"perfpred/internal/obs"
+)
+
+// metrics bundles the registry entries the serving path records into,
+// resolved once at startup so hot-path increments never take the
+// registry lock. Names are the obs.MetricServe* constants, which
+// BuildServeReport reads back out.
+type metrics struct {
+	reg         *obs.Registry
+	requests    *obs.Counter
+	predictions *obs.Counter
+	batches     *obs.Counter
+	shed        *obs.Counter
+	errors      *obs.Counter
+	reloads     *obs.Counter
+	batchSize   *obs.Histogram
+	queueWait   *obs.Histogram
+	latency     *obs.Histogram
+	kernel      *obs.Histogram
+	queueDepth  *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &metrics{
+		reg:         reg,
+		requests:    reg.Counter(obs.MetricServeRequests),
+		predictions: reg.Counter(obs.MetricServePredictions),
+		batches:     reg.Counter(obs.MetricServeBatches),
+		shed:        reg.Counter(obs.MetricServeShed),
+		errors:      reg.Counter(obs.MetricServeErrors),
+		reloads:     reg.Counter(obs.MetricServeReloads),
+		batchSize:   reg.Histogram(obs.MetricServeBatchSize),
+		queueWait:   reg.Histogram(obs.MetricServeQueueWait),
+		latency:     reg.Histogram(obs.MetricServeLatency),
+		kernel:      reg.Histogram(obs.MetricServeKernel),
+		queueDepth:  reg.Gauge(obs.MetricServeQueueDepth),
+	}
+}

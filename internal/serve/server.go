@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/obs"
+)
+
+// Config configures a serving daemon.
+type Config struct {
+	// ModelsDir is the directory of *.json predictor artifacts.
+	ModelsDir string
+	// Batcher sizes the micro-batcher.
+	Batcher BatcherConfig
+	// RequestTimeout is the per-request deadline applied to every
+	// admitted prediction (propagated through the batcher via the
+	// request context). 0 means 5s.
+	RequestTimeout time.Duration
+	// Metrics is the registry to record into; nil creates a private one.
+	Metrics *obs.Registry
+}
+
+// Server is the serving daemon: registry + micro-batcher + HTTP surface.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	met     *metrics
+	bat     *Batcher
+	mux     *http.ServeMux
+	started time.Time
+	addr    atomic.Value // string; bound listen address, set by the daemon
+}
+
+// New loads the model directory and starts the batch workers. The
+// returned server's Handler can be mounted on any http.Server; call
+// Close to drain.
+func New(cfg Config) (*Server, error) {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	reg, err := OpenRegistry(cfg.ModelsDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		met:     newMetrics(cfg.Metrics),
+		started: time.Now(),
+	}
+	s.bat = newBatcher(cfg.Batcher, s.met, scoreModel)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /v1/report", s.handleReport)
+	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mh := obs.MetricsHandler(s.met.reg)
+	s.mux.Handle("/metrics", mh)
+	s.mux.Handle("/debug/", mh)
+	return s, nil
+}
+
+// scoreModel is the production scoreFunc: the shared zero-allocation
+// batch kernel entry.
+func scoreModel(ctx context.Context, m *Model, rows [][]dataset.Value, out []float64) error {
+	return m.Pred.PredictRowsInto(ctx, out, rows)
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the model registry (signal handlers trigger reloads
+// through it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// MetricsRegistry exposes the metrics registry backing /metrics.
+func (s *Server) MetricsRegistry() *obs.Registry { return s.met.reg }
+
+// SetAddr records the bound listen address for reports.
+func (s *Server) SetAddr(addr string) { s.addr.Store(addr) }
+
+// Close drains the micro-batcher: admission stops and every queued
+// request is answered before Close returns. Call after the HTTP server
+// has stopped accepting requests.
+func (s *Server) Close() { s.bat.Close() }
+
+// Reload atomically swaps in a fresh catalog from the model directory,
+// counting successful reloads.
+func (s *Server) Reload() (int64, error) {
+	gen, err := s.reg.Reload()
+	if err == nil {
+		s.met.reloads.Inc()
+	}
+	return gen, err
+}
+
+// Report snapshots the daemon's lifetime into a ServeReport.
+func (s *Server) Report() *obs.ServeReport {
+	addr, _ := s.addr.Load().(string)
+	return obs.BuildServeReport(obs.ServeMeta{
+		Addr:       addr,
+		ModelsDir:  s.reg.Dir(),
+		Models:     s.reg.Names(),
+		Generation: s.reg.Generation(),
+		Uptime:     time.Since(s.started),
+	}, s.met.reg)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.met.latency.Observe(time.Since(start).Seconds()) }()
+
+	req, err := DecodePredictRequest(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, ok := s.reg.Get(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown model %q (see /v1/models)", req.Model))
+		return
+	}
+	rows, err := req.Resolve(m.Pred.Encoder().Schema())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.met.requests.Inc()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	out, err := s.bat.Predict(ctx, m, rows)
+	if err != nil {
+		s.writePredictError(w, err)
+		return
+	}
+	for i, y := range out {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("serve: row %d produced a non-finite prediction", i))
+			return
+		}
+	}
+	resp := PredictResponse{
+		Model:       req.Model,
+		Kind:        m.Pred.Kind().String(),
+		N:           len(out),
+		Predictions: out,
+	}
+	if req.Single() {
+		resp.Prediction = &out[0]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writePredictError maps batcher/scoring failures onto HTTP statuses:
+// shed → 429 with Retry-After, drain → 503, deadline → 504, anything
+// else (encoding failures on otherwise well-typed rows, e.g. an unknown
+// category for an LR model) → 400.
+func (s *Server) writePredictError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: request deadline exceeded"))
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	models := s.reg.Models()
+	resp := ModelsResponse{Generation: s.reg.Generation(), Models: make([]ModelInfo, len(models))}
+	for i, m := range models {
+		resp.Models[i] = infoFor(m)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Report())
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	gen, err := s.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("serve: reload failed, previous catalog still serving: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Generation: gen, Models: s.reg.Names()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort: client may have gone
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	msg := strings.TrimPrefix(err.Error(), "serve: ")
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"perfpred/internal/core"
+	"perfpred/internal/dataset"
+	"perfpred/internal/obs"
+)
+
+// newTestServer trains two models into a fresh directory and builds a
+// Server over them.
+func newTestServer(t *testing.T) (*Server, *dataset.Dataset, string) {
+	t.Helper()
+	d := synthDataset(t, 64, 6)
+	dir := t.TempDir()
+	saveModel(t, dir, "lre", trainModel(t, core.LRE, d))
+	saveModel(t, dir, "nns", trainModel(t, core.NNS, d))
+	s, err := New(Config{ModelsDir: dir, Batcher: BatcherConfig{Workers: 2, MaxWait: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, d, dir
+}
+
+// rowJSON renders dataset row i in the request wire format.
+func rowJSON(d *dataset.Dataset, i int) []any {
+	row := d.Row(i)
+	out := make([]any, len(row))
+	for j, v := range row {
+		switch v.Kind() {
+		case dataset.Numeric:
+			out[j] = v.Float()
+		case dataset.Flag:
+			out[j] = v.Bool()
+		default:
+			out[j] = v.Label()
+		}
+	}
+	return out
+}
+
+func postPredict(t *testing.T, h http.Handler, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	switch b := body.(type) {
+	case string:
+		buf.WriteString(b)
+	default:
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", &buf)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestServerPredictSingleAndBatch(t *testing.T) {
+	s, d, _ := newTestServer(t)
+	h := s.Handler()
+	m, _ := s.Registry().Get("nns")
+
+	// Single-row body, bit-identical to the offline scalar path.
+	want, err := m.Pred.Predict(d.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := postPredict(t, h, map[string]any{"model": "nns", "row": rowJSON(d, 0)})
+	if w.Code != http.StatusOK {
+		t.Fatalf("single predict: %d %s", w.Code, w.Body)
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 1 || resp.Prediction == nil || *resp.Prediction != want || resp.Kind != "NN-S" {
+		t.Fatalf("single predict: %+v, want prediction %v", resp, want)
+	}
+
+	// Batch body, bit-identical to offline PredictAll over the dataset.
+	rows := make([][]any, d.Len())
+	for i := range rows {
+		rows[i] = rowJSON(d, i)
+	}
+	offline, err := m.Pred.PredictDataset(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = postPredict(t, h, map[string]any{"model": "nns", "rows": rows})
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch predict: %d %s", w.Code, w.Body)
+	}
+	resp = PredictResponse{}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != d.Len() || resp.Prediction != nil {
+		t.Fatalf("batch predict: n=%d prediction=%v", resp.N, resp.Prediction)
+	}
+	for i := range offline {
+		if resp.Predictions[i] != offline[i] {
+			t.Fatalf("batch row %d: served %v != offline %v", i, resp.Predictions[i], offline[i])
+		}
+	}
+}
+
+func TestServerPredictErrors(t *testing.T) {
+	s, d, _ := newTestServer(t)
+	h := s.Handler()
+	good := rowJSON(d, 0)
+	short := good[:2]
+	cases := []struct {
+		name string
+		body any
+		code int
+		want string
+	}{
+		{"malformed json", `{"model": "nns", "row": [`, http.StatusBadRequest, "decoding"},
+		{"no model", map[string]any{"row": good}, http.StatusBadRequest, "no model"},
+		{"row and rows", map[string]any{"model": "nns", "row": good, "rows": [][]any{good}}, http.StatusBadRequest, "exactly one"},
+		{"neither row nor rows", map[string]any{"model": "nns"}, http.StatusBadRequest, "exactly one"},
+		{"empty rows", map[string]any{"model": "nns", "rows": [][]any{}}, http.StatusBadRequest, "empty"},
+		{"unknown field", map[string]any{"model": "nns", "row": good, "extra": 1}, http.StatusBadRequest, "unknown field"},
+		{"unknown model", map[string]any{"model": "nope", "row": good}, http.StatusNotFound, "unknown model"},
+		{"wrong arity", map[string]any{"model": "nns", "row": short}, http.StatusBadRequest, "2 values"},
+		{"wrong type", map[string]any{"model": "nns", "row": []any{"x", 4.0, true, "weak"}}, http.StatusBadRequest, "field"},
+		{"inf literal", `{"model": "nns", "row": [1e999, 4, true, "weak"]}`, http.StatusBadRequest, "non-finite"},
+		{"trailing data", `{"model": "nns", "row": [32, 4, true, "weak"]} junk`, http.StatusBadRequest, "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postPredict(t, h, tc.body)
+			if w.Code != tc.code {
+				t.Fatalf("code = %d, want %d (%s)", w.Code, tc.code, w.Body)
+			}
+			var e ErrorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+				t.Fatalf("non-JSON error body: %s", w.Body)
+			}
+			if !strings.Contains(e.Error, tc.want) {
+				t.Errorf("error %q does not contain %q", e.Error, tc.want)
+			}
+		})
+	}
+
+	// GET on /v1/predict is rejected by the method-scoped route.
+	req := httptest.NewRequest(http.MethodGet, "/v1/predict", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/predict = %d, want 405", w.Code)
+	}
+}
+
+func TestServerModelsAndMetrics(t *testing.T) {
+	s, d, _ := newTestServer(t)
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/models", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/models: %d", w.Code)
+	}
+	var mr ModelsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Generation != 1 || len(mr.Models) != 2 {
+		t.Fatalf("/v1/models: %+v", mr)
+	}
+	if mr.Models[0].Name != "lre" || mr.Models[0].Kind != "LR-E" || mr.Models[0].Target != "cycles" {
+		t.Fatalf("model info: %+v", mr.Models[0])
+	}
+	if len(mr.Models[0].Fields) != 4 || mr.Models[0].Fields[0].Name != "size" || mr.Models[0].Fields[0].Kind != "numeric" {
+		t.Fatalf("schema fields: %+v", mr.Models[0].Fields)
+	}
+
+	// A prediction moves the serve counters visible on /metrics.
+	postPredict(t, h, map[string]any{"model": "lre", "row": rowJSON(d, 1)})
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", w.Code)
+	}
+	var snap obs.MetricsSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, w.Body)
+	}
+	if snap.Counters[obs.MetricServeRequests] != 1 || snap.Counters[obs.MetricServePredictions] != 1 {
+		t.Fatalf("/metrics counters: %+v", snap.Counters)
+	}
+	if snap.Histograms[obs.MetricServeLatency].Count < 1 {
+		t.Fatalf("/metrics latency histogram empty: %+v", snap.Histograms)
+	}
+}
+
+func TestServerReloadEndpoint(t *testing.T) {
+	s, d, dir := newTestServer(t)
+	h := s.Handler()
+
+	saveModel(t, dir, "extra", trainModel(t, core.LRB, d))
+	req := httptest.NewRequest(http.MethodPost, "/admin/reload", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/admin/reload: %d %s", w.Code, w.Body)
+	}
+	var rr ReloadResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Generation != 2 || len(rr.Models) != 3 {
+		t.Fatalf("reload: %+v", rr)
+	}
+	if _, ok := s.Registry().Get("extra"); !ok {
+		t.Fatal("reloaded model not served")
+	}
+
+	// A failed reload reports 500 and keeps serving generation 2.
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("failed reload: %d", w.Code)
+	}
+	if s.Registry().Generation() != 2 {
+		t.Fatalf("generation = %d after failed reload", s.Registry().Generation())
+	}
+}
+
+func TestServerReportEndpoint(t *testing.T) {
+	s, d, _ := newTestServer(t)
+	h := s.Handler()
+	s.SetAddr("127.0.0.1:0")
+	postPredict(t, h, map[string]any{"model": "nns", "row": rowJSON(d, 2)})
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/report: %d", w.Code)
+	}
+	rep, err := obs.ReadServeReport(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 1 || rep.Predictions != 1 || rep.Addr != "127.0.0.1:0" || len(rep.Models) != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+// TestServerShedMapsTo429 wires a blocking scorer behind the HTTP
+// surface and pins the load-shedding contract: 429, Retry-After header,
+// JSON error body.
+func TestServerShedMapsTo429(t *testing.T) {
+	s, d, _ := newTestServer(t)
+	h := s.Handler()
+
+	// Swap in a tiny batcher whose single worker blocks until released.
+	s.bat.Close()
+	release := make(chan struct{})
+	entered := make(chan struct{}, 64)
+	score := func(_ context.Context, _ *Model, rows [][]dataset.Value, out []float64) error {
+		entered <- struct{}{}
+		<-release
+		for i := range out {
+			out[i] = 1
+		}
+		return nil
+	}
+	s.bat = newBatcher(BatcherConfig{QueueDepth: 1, MaxBatch: 1, MaxWait: 0, Workers: 1}, s.met, score)
+	defer func() { close(release); s.bat.Close() }()
+
+	body := map[string]any{"model": "nns", "row": rowJSON(d, 0)}
+	done := make(chan *httptest.ResponseRecorder, 2)
+	// One request occupies the worker, one fills the queue.
+	go func() { done <- postPredict(t, h, body) }()
+	<-entered
+	go func() { done <- postPredict(t, h, body) }()
+	deadline := time.After(5 * time.Second)
+	for len(s.bat.queue) < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("queue never filled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The next request is shed.
+	w := postPredict(t, h, body)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded predict: %d %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q, want 1", w.Header().Get("Retry-After"))
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "queue full") {
+		t.Fatalf("shed body: %s (%v)", w.Body, err)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
+		t.Fatalf("/healthz: %d %s", w.Code, w.Body)
+	}
+}

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving stack: train a tiny model with
+# the predict CLI, start perfpredd against it, exercise every endpoint
+# over real HTTP, assert the daemon's predictions are bit-identical to
+# the offline scoring path, then drain it with SIGTERM and check the
+# final ServeReport. Needs only bash + curl + python3 (for JSON
+# assertions) and runs in a few seconds; CI runs it as the e2e-serve
+# job, and `make e2e` runs it locally.
+set -euo pipefail
+
+work=$(mktemp -d)
+dpid=""
+cleanup() {
+  if [ -n "$dpid" ] && kill -0 "$dpid" 2>/dev/null; then
+    kill -9 "$dpid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+say() { printf '\n== %s\n' "$*"; }
+
+say "build binaries"
+go build -o "$work" ./cmd/predict ./cmd/perfpredd ./cmd/specgen
+cd "$work"
+mkdir models
+
+say "train a tiny LR-E model on the Pentium D family"
+./predict -train -family "Pentium D" -model LR-E -out models/pd-lre.json -seed 7
+
+say "derive a batch request from real generated data"
+./specgen -family "Pentium D" -seed 7 > pd.csv
+./predict -model-file models/pd-lre.json -csv pd.csv -emit-request 4 > req.json
+./predict -model-file models/pd-lre.json -json req.json > offline.json
+
+say "start perfpredd"
+./perfpredd -models models -addr 127.0.0.1:0 -addr-file addr -report serve-report.json \
+  -queue 64 -max-batch 16 &
+dpid=$!
+for _ in $(seq 1 100); do
+  [ -s addr ] && break
+  sleep 0.1
+done
+[ -s addr ] || { echo "daemon never wrote addr file" >&2; exit 1; }
+base="http://$(cat addr)"
+echo "daemon at $base"
+
+say "healthz"
+curl -sfS "$base/healthz" | python3 -c '
+import json, sys
+assert json.load(sys.stdin)["status"] == "ok"
+'
+
+say "/v1/models lists the trained model"
+curl -sfS "$base/v1/models" | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["generation"] == 1, r
+(m,) = r["models"]
+assert m["name"] == "pd-lre" and m["kind"] == "LR-E", m
+assert m["columns"] > 0 and len(m["fields"]) > 0, m
+print("model pd-lre (LR-E), %d fields -> %d encoded columns" % (len(m["fields"]), m["columns"]))
+'
+
+say "/v1/predict batch is bit-identical to offline scoring"
+curl -sfS -X POST "$base/v1/predict" --data-binary @req.json > online.json
+python3 - <<'EOF'
+import json, math
+off = json.load(open("offline.json"))
+on = json.load(open("online.json"))
+assert on["model"] == off["model"] == "pd-lre"
+assert on["kind"] == "LR-E" and on["n"] == 4
+assert all(math.isfinite(y) for y in on["predictions"])
+assert on["predictions"] == off["predictions"], (on, off)
+print("4 predictions bit-identical:", on["predictions"])
+EOF
+
+say "/v1/predict single row"
+python3 -c '
+import json
+req = json.load(open("req.json"))
+json.dump({"model": req["model"], "row": req["rows"][0]}, open("single.json", "w"))
+'
+curl -sfS -X POST "$base/v1/predict" --data-binary @single.json | python3 -c '
+import json, sys
+off = json.load(open("offline.json"))
+r = json.load(sys.stdin)
+assert r["n"] == 1 and r["prediction"] == off["predictions"][0], (r, off)
+print("single prediction matches batch row 0")
+'
+
+say "malformed request is a clean 400"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/predict" --data-binary '{"model":')
+[ "$code" = "400" ] || { echo "malformed request returned $code, want 400" >&2; exit 1; }
+
+say "/metrics counts the traffic"
+curl -sfS "$base/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+c = m["counters"]
+assert c["serve.requests"] >= 2, c
+assert c["serve.predictions"] >= 5, c
+assert c["serve.shed"] == 0, c
+print("serve.requests=%d serve.predictions=%d" % (c["serve.requests"], c["serve.predictions"]))
+'
+
+say "/admin/reload bumps the generation atomically"
+curl -sfS -X POST "$base/admin/reload" | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["generation"] == 2 and r["models"] == ["pd-lre"], r
+print("reloaded: generation 2")
+'
+
+say "SIGTERM drains cleanly and writes the ServeReport"
+kill -TERM "$dpid"
+wait "$dpid"
+dpid=""
+python3 - <<'EOF'
+import json
+r = json.load(open("serve-report.json"))
+assert r["version"] == 1
+assert r["models"] == ["pd-lre"] and r["generation"] == 2
+assert r["requests"] >= 2 and r["predictions"] >= 5
+assert r["shed"] == 0 and r["errors"] == 0 and r["reloads"] == 1
+assert r["batch_size"]["count"] >= 2
+print("serve report ok: %d requests, %d predictions, %d reloads"
+      % (r["requests"], r["predictions"], r["reloads"]))
+EOF
+
+say "e2e serve smoke: PASS"
