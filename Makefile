@@ -21,14 +21,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Neural kernel benchmarks → BENCH_3.json: the committed perf snapshot.
-# Joined against BENCH_baseline.json (pre-PR-3 kernels, same machine) so
-# the speedup column tracks the batched-kernel work across PRs.
+# Model kernel benchmarks (neural + tree) → BENCH_6.json: the committed
+# perf snapshot. Joined against BENCH_baseline.json (pre-PR-3 kernels,
+# same machine) so the speedup column tracks the neural-kernel work
+# across PRs; the tree benches have no baseline and carry raw numbers.
 # Staged through a file (not a pipe) so benchjson's compilation does not
 # run concurrently with — and perturb — the measurement.
 bench:
-	$(GO) test -run xxx -bench 'Train|PredictAll' -benchmem -count=2 ./internal/neural > bench.out.tmp
-	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_3.json < bench.out.tmp
+	$(GO) test -run xxx -bench 'Train|PredictAll' -benchmem -count=2 ./internal/neural ./internal/tree > bench.out.tmp
+	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_6.json < bench.out.tmp
 	@rm -f bench.out.tmp
 
 # End-to-end smoke of the serving daemon: train → serve → curl → drain,

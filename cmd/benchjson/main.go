@@ -37,10 +37,13 @@ type Result struct {
 
 // Snapshot is the whole JSON document.
 type Snapshot struct {
-	GOOS       string            `json:"goos,omitempty"`
-	GOARCH     string            `json:"goarch,omitempty"`
-	CPU        string            `json:"cpu,omitempty"`
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Pkg is the first benchmarked package; Pkgs lists every package when
+	// one run spans several (e.g. the neural and tree kernels together).
 	Pkg        string            `json:"pkg,omitempty"`
+	Pkgs       []string          `json:"pkgs,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
@@ -125,7 +128,11 @@ func parse(r io.Reader) (*Snapshot, error) {
 			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 			continue
 		case strings.HasPrefix(line, "pkg:"):
-			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg := strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			if snap.Pkg == "" {
+				snap.Pkg = pkg
+			}
+			snap.Pkgs = append(snap.Pkgs, pkg)
 			continue
 		case !strings.HasPrefix(line, "Benchmark"):
 			continue

@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chrono: ")
 	family := flag.String("family", "Opteron", "system family (see -list)")
-	modelsArg := flag.String("models", "figure", "comma-separated model kinds, 'figure' (the 9 of Figures 7-8) or 'all'")
+	modelsArg := flag.String("models", "figure", "comma-separated model kinds, 'figure' (the 9 of Figures 7-8) or 'all' (every registered family incl. TREE-B)")
 	seed := flag.Int64("seed", 1, "master seed")
 	workers := flag.Int("workers", 0, "parallel workers")
 	epochs := flag.Float64("epochs", 1.0, "neural epoch scale")

@@ -29,7 +29,7 @@ func main() {
 	log.SetPrefix("dse: ")
 	bench := flag.String("bench", "mcf", "benchmark workload (see -list)")
 	frac := flag.Float64("frac", 0.01, "fraction of the design space to sample")
-	modelsArg := flag.String("models", "LR-B,NN-E,NN-S", "comma-separated model kinds (or 'all')")
+	modelsArg := flag.String("models", "LR-B,NN-E,NN-S", "comma-separated model kinds, or 'all' for every registered family incl. TREE-B")
 	seed := flag.Int64("seed", 1, "master seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	epochs := flag.Float64("epochs", 1.0, "neural epoch scale")

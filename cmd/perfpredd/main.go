@@ -4,7 +4,7 @@
 // registry and serves:
 //
 //	POST /v1/predict   score one row or a batch (micro-batched)
-//	GET  /v1/models    list loaded models, schemas and the catalog generation
+//	GET  /v1/models    list loaded models (kind, family tag, schema) and the catalog generation
 //	GET  /v1/report    live ServeReport snapshot
 //	POST /admin/reload atomically reload the model directory
 //	GET  /metrics      obs metrics snapshot (plus /debug/vars, /debug/pprof)

@@ -38,7 +38,7 @@ func main() {
 	train := flag.Bool("train", false, "train a new model")
 	bench := flag.String("bench", "", "design-space benchmark to train on (sampled DSE)")
 	family := flag.String("family", "", "SPEC family to train on (2005 announcements)")
-	model := flag.String("model", "NN-E", "model kind")
+	model := flag.String("model", "NN-E", "model kind, e.g. NN-E or TREE-B (any registered family; see dse -list)")
 	frac := flag.Float64("frac", 0.02, "design-space sampling fraction (with -bench)")
 	out := flag.String("out", "model.json", "output path for the trained model")
 	modelFile := flag.String("model-file", "", "persisted model to load")

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"perfpred/internal/dataset"
+	"perfpred/internal/model"
+	"perfpred/internal/tree"
 )
 
 // synthSpace builds a synthetic "design space" dataset with a nonlinear
@@ -57,6 +59,7 @@ func TestModelKindStrings(t *testing.T) {
 	want := map[ModelKind]string{
 		LRE: "LR-E", LRS: "LR-S", LRB: "LR-B", LRF: "LR-F",
 		NNQ: "NN-Q", NND: "NN-D", NNM: "NN-M", NNP: "NN-P", NNE: "NN-E", NNS: "NN-S",
+		tree.KindTreeB: "TREE-B",
 	}
 	for k, s := range want {
 		if k.String() != s {
@@ -70,7 +73,7 @@ func TestModelKindStrings(t *testing.T) {
 	if _, err := ParseModelKind("SVM"); err == nil {
 		t.Fatal("unknown kind: want error")
 	}
-	if len(AllModels()) != 10 || len(FigureModels()) != 9 || len(SampledModels()) != 3 {
+	if len(AllModels()) != 11 || len(FigureModels()) != 9 || len(SampledModels()) != 3 {
 		t.Fatal("model list sizes wrong")
 	}
 }
@@ -80,17 +83,20 @@ func TestKindClassification(t *testing.T) {
 		if k.IsNeural() {
 			t.Errorf("%v should not be neural", k)
 		}
-		if _, ok := k.lrMethod(); !ok {
-			t.Errorf("%v should map to an LR method", k)
+		if fam, ok := model.Lookup(k); !ok || fam.Mode != dataset.ForLR {
+			t.Errorf("%v should register an LR-mode family", k)
 		}
 	}
 	for _, k := range []ModelKind{NNQ, NND, NNM, NNP, NNE, NNS} {
 		if !k.IsNeural() {
 			t.Errorf("%v should be neural", k)
 		}
-		if _, ok := k.nnMethod(); !ok {
-			t.Errorf("%v should map to an NN method", k)
+		if fam, ok := model.Lookup(k); !ok || fam.Mode != dataset.ForNN {
+			t.Errorf("%v should register an NN-mode family", k)
 		}
+	}
+	if tree.KindTreeB.IsNeural() {
+		t.Error("TREE-B must not classify as neural")
 	}
 }
 

@@ -2,58 +2,51 @@ package core
 
 import (
 	"errors"
-	"math"
 	"sort"
 
 	"perfpred/internal/dataset"
+	"perfpred/internal/model"
 )
 
 // FieldImportance is one input field's relative influence on a trained
 // model's predictions (paper §4.4: neural-network importance from
 // sensitivity analysis, linear-regression importance from standardized
-// beta coefficients).
+// beta coefficients, tree-ensemble importance from out-of-bag
+// permutation).
 type FieldImportance struct {
 	// Field is the schema field name (one-hot columns are folded back to
 	// their source field).
 	Field string
-	// Score is the relative importance: for neural models, 0 means no
-	// effect and 1.0 means the field alone spans the whole prediction
-	// range; for linear models it is the absolute standardized beta.
+	// Score is the relative importance in the family's own convention:
+	// for neural and tree models 0 means no effect and 1.0 means the
+	// field dominates the prediction; for linear models it is the
+	// absolute standardized beta.
 	Score float64
 }
 
 // Importances analyses the predictor against (a sample of) the dataset it
 // was trained on and returns per-field importance scores sorted from most
-// to least important. Fields the model dropped do not appear.
+// to least important. Fields the model dropped do not appear. The scores
+// come from the family's own Importance implementation; core only folds
+// encoded columns back onto their source fields (the strongest column
+// represents the field).
 func (p *Predictor) Importances(d *dataset.Dataset) ([]FieldImportance, error) {
 	if d == nil || d.Len() == 0 {
 		return nil, errors.New("core: importance needs probe records")
 	}
+	x, _, err := p.enc.Transform(d)
+	if err != nil {
+		return nil, err
+	}
+	imp, err := p.model.Importance(x)
+	if err != nil {
+		return nil, err
+	}
 	byField := map[string]float64{}
-	if p.nn != nil {
-		x, _, err := p.enc.Transform(d)
-		if err != nil {
-			return nil, err
-		}
-		imp, err := p.nn.Importance(x)
-		if err != nil {
-			return nil, err
-		}
-		// Fold one-hot columns back onto their source field (the
-		// strongest level represents the field).
-		for col, score := range imp {
-			f := p.enc.SourceField(col)
-			if score > byField[f] {
-				byField[f] = score
-			}
-		}
-	} else {
-		for _, c := range p.lr.Coefficients() {
-			name := c.Name
-			score := math.Abs(c.StdBeta)
-			if score > byField[name] {
-				byField[name] = score
-			}
+	for col, score := range imp {
+		f := p.enc.SourceField(col)
+		if score > byField[f] {
+			byField[f] = score
 		}
 	}
 	out := make([]FieldImportance, 0, len(byField))
@@ -71,21 +64,34 @@ func (p *Predictor) Importances(d *dataset.Dataset) ([]FieldImportance, error) {
 	return out, nil
 }
 
-// SelectedPredictors returns the names of the predictors a linear model
-// retained (paper §4.3 discusses how LR-S/LR-B keep fewer predictors than
-// LR-E). Neural predictors return the fields that remain unpruned.
+// SelectedPredictors returns the names of the input columns the model's
+// training retained, via the optional model.Selector interface (paper
+// §4.3 discusses how LR-S/LR-B keep fewer predictors than LR-E; pruned
+// networks freeze inputs). Families without selection report every
+// encoded column's source field.
 func (p *Predictor) SelectedPredictors() []string {
-	if p.lr != nil {
-		return p.lr.SelectedNames()
+	cols := make([]int, 0, p.enc.NumColumns())
+	if sel, ok := p.model.(model.Selector); ok {
+		cols = sel.SelectedColumns()
+	} else {
+		for c := 0; c < p.enc.NumColumns(); c++ {
+			cols = append(cols, c)
+		}
 	}
-	// Neural model: every unfrozen input's source field.
+	if p.enc.Mode() == dataset.ForLR {
+		// LR-mode columns are the field names themselves; keep the
+		// design-column order of the coefficient table.
+		out := make([]string, len(cols))
+		for i, c := range cols {
+			out[i] = p.enc.ColumnNames()[c]
+		}
+		return out
+	}
+	// Fold encoded columns back to source fields, sorted by name.
 	seen := map[string]bool{}
 	var out []string
-	for col := 0; col < p.enc.NumColumns(); col++ {
-		if p.nn.Network().InputFrozen(col) {
-			continue
-		}
-		f := p.enc.SourceField(col)
+	for _, c := range cols {
+		f := p.enc.SourceField(c)
 		if !seen[f] {
 			seen[f] = true
 			out = append(out, f)

@@ -1,88 +1,66 @@
 // Package core implements the paper's predictive-modeling framework: the
-// nine-model zoo (four linear-regression selection methods, five neural
-// network training methods, plus the NN-S single-layer baseline), the
-// five-fold 50 % cross-validation error estimation of §3.3, the "Select"
-// meta-method that picks the model with the best estimated error, and the
-// two workflows of Figure 1 — sampled design-space exploration and
-// chronological prediction.
+// model zoo (four linear-regression selection methods, five neural
+// network training methods, the NN-S single-layer baseline, plus any
+// family registered beyond the paper, such as the TREE-B bagged ensemble),
+// the five-fold 50 % cross-validation error estimation of §3.3, the
+// "Select" meta-method that picks the model with the best estimated
+// error, and the two workflows of Figure 1 — sampled design-space
+// exploration and chronological prediction.
+//
+// Core never dispatches on concrete families: every train, predict,
+// serialize and importance path goes through the model registry, so a new
+// family (one package registering itself, linked via model/all) flows
+// through every workflow here without core changes.
 package core
 
 import (
 	"fmt"
 
-	"perfpred/internal/linreg"
-	"perfpred/internal/neural"
+	"perfpred/internal/model"
+	_ "perfpred/internal/model/all"
 )
 
-// ModelKind identifies one candidate model of the zoo.
-type ModelKind int
+// ModelKind identifies one candidate model of the zoo. It is the model
+// registry's Kind; the paper constants below are re-exported so callers
+// can keep naming models without importing the registry.
+type ModelKind = model.Kind
 
 const (
 	// LRE is linear regression with the Enter method (all predictors).
-	LRE ModelKind = iota
+	LRE = model.LRE
 	// LRS is stepwise linear regression.
-	LRS
+	LRS = model.LRS
 	// LRB is backwards linear regression.
-	LRB
+	LRB = model.LRB
 	// LRF is forwards linear regression.
-	LRF
+	LRF = model.LRF
 	// NNQ is the Quick neural network.
-	NNQ
+	NNQ = model.NNQ
 	// NND is the Dynamic neural network.
-	NND
+	NND = model.NND
 	// NNM is the Multiple neural network.
-	NNM
+	NNM = model.NNM
 	// NNP is the Prune neural network.
-	NNP
+	NNP = model.NNP
 	// NNE is the Exhaustive Prune neural network.
-	NNE
+	NNE = model.NNE
 	// NNS is the single-layer constant-learning-rate network (the
 	// Ipek-style baseline the paper compares against).
-	NNS
+	NNS = model.NNS
 )
 
-// String returns the paper's model label.
-func (k ModelKind) String() string {
-	switch k {
-	case LRE:
-		return "LR-E"
-	case LRS:
-		return "LR-S"
-	case LRB:
-		return "LR-B"
-	case LRF:
-		return "LR-F"
-	case NNQ:
-		return "NN-Q"
-	case NND:
-		return "NN-D"
-	case NNM:
-		return "NN-M"
-	case NNP:
-		return "NN-P"
-	case NNE:
-		return "NN-E"
-	case NNS:
-		return "NN-S"
-	default:
-		return fmt.Sprintf("ModelKind(%d)", int(k))
-	}
-}
-
-// ParseModelKind converts a paper label (e.g. "NN-E") to a ModelKind.
+// ParseModelKind converts a model label (e.g. "NN-E", "TREE-B") to a
+// ModelKind.
 func ParseModelKind(s string) (ModelKind, error) {
-	for _, k := range AllModels() {
-		if k.String() == s {
-			return k, nil
-		}
+	k, err := model.Parse(s)
+	if err != nil {
+		return 0, fmt.Errorf("core: unknown model %q", s)
 	}
-	return 0, fmt.Errorf("core: unknown model %q", s)
+	return k, nil
 }
 
-// AllModels lists every implemented model kind.
-func AllModels() []ModelKind {
-	return []ModelKind{LRE, LRS, LRB, LRF, NNQ, NND, NNM, NNP, NNE, NNS}
-}
+// AllModels lists every registered model kind, in kind order.
+func AllModels() []ModelKind { return model.Kinds() }
 
 // FigureModels lists the nine models in the order of the paper's
 // Figures 7 and 8 (LR-E, LR-S, LR-B, LR-F, NN-Q, NN-D, NN-M, NN-P, NN-E).
@@ -93,42 +71,3 @@ func FigureModels() []ModelKind {
 // SampledModels lists the three models the paper's Figures 2–6 present
 // for the sampled design space (best LR, best NN, fast NN).
 func SampledModels() []ModelKind { return []ModelKind{LRB, NNE, NNS} }
-
-// IsNeural reports whether the kind is a neural-network model.
-func (k ModelKind) IsNeural() bool { return k >= NNQ }
-
-// lrMethod maps a linear kind to its selection method.
-func (k ModelKind) lrMethod() (linreg.Method, bool) {
-	switch k {
-	case LRE:
-		return linreg.Enter, true
-	case LRS:
-		return linreg.Stepwise, true
-	case LRB:
-		return linreg.Backward, true
-	case LRF:
-		return linreg.Forward, true
-	default:
-		return 0, false
-	}
-}
-
-// nnMethod maps a neural kind to its training method.
-func (k ModelKind) nnMethod() (neural.Method, bool) {
-	switch k {
-	case NNQ:
-		return neural.Quick, true
-	case NND:
-		return neural.Dynamic, true
-	case NNM:
-		return neural.Multiple, true
-	case NNP:
-		return neural.Prune, true
-	case NNE:
-		return neural.ExhaustivePrune, true
-	case NNS:
-		return neural.Single, true
-	default:
-		return 0, false
-	}
-}

@@ -9,8 +9,7 @@ import (
 
 	"perfpred/internal/dataset"
 	"perfpred/internal/engine"
-	"perfpred/internal/linreg"
-	"perfpred/internal/neural"
+	"perfpred/internal/model"
 	"perfpred/internal/stat"
 )
 
@@ -20,8 +19,8 @@ type TrainConfig struct {
 	Seed int64
 	// Workers bounds intra-training parallelism (0 = GOMAXPROCS).
 	Workers int
-	// EpochScale scales neural-network epoch budgets (0 = 1.0); tests use
-	// small values for speed.
+	// EpochScale scales iterative training budgets — neural epoch counts,
+	// tree ensemble sizes (0 = 1.0); tests use small values for speed.
 	EpochScale float64
 	// Hook, if non-nil, observes execution events (task start/finish,
 	// durations, fold indices, neural epoch progress). Hooks must be safe
@@ -43,21 +42,23 @@ func (c TrainConfig) pool() engine.Options {
 }
 
 // Predictor is one trained model bound to the encoder that prepared its
-// inputs, so it can score raw records directly.
+// inputs, so it can score raw records directly. The model itself is
+// whatever family the registry resolved for the kind — core never touches
+// concrete model types.
 type Predictor struct {
-	kind ModelKind
-	enc  *dataset.Encoder
-	lr   *linreg.Model
-	nn   *neural.Model
+	kind  ModelKind
+	fam   model.Family
+	enc   *dataset.Encoder
+	model model.Model
 	// hook carries the training config's observability hook so batch
 	// prediction fan-outs report to the same stream as training did.
 	// Never affects results; nil on deserialized predictors.
 	hook engine.Hook
 }
 
-// Train fits a model of the given kind on the training dataset, handling
-// the model family's data preparation (§3.4) internally. Cancellation of
-// ctx aborts neural epoch loops promptly.
+// Train fits a model of the given kind on the training dataset. The
+// kind's registered family declares its data preparation (§3.4) and
+// trainer; cancellation of ctx aborts training loops promptly.
 func Train(ctx context.Context, kind ModelKind, train *dataset.Dataset, cfg TrainConfig) (*Predictor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -65,35 +66,19 @@ func Train(ctx context.Context, kind ModelKind, train *dataset.Dataset, cfg Trai
 	if train == nil || train.Len() == 0 {
 		return nil, errors.New("core: empty training dataset")
 	}
-	if m, ok := kind.lrMethod(); ok {
-		enc, err := dataset.FitEncoder(train, dataset.ForLR)
-		if err != nil {
-			return nil, fmt.Errorf("core: preparing LR inputs: %w", err)
-		}
-		x, y, err := enc.Transform(train)
-		if err != nil {
-			return nil, err
-		}
-		model, err := linreg.Fit(x, y, enc.ColumnNames(), linreg.Options{Method: m})
-		if err != nil {
-			return nil, fmt.Errorf("core: fitting %v: %w", kind, err)
-		}
-		return &Predictor{kind: kind, enc: enc, lr: model, hook: cfg.Hook}, nil
-	}
-	m, ok := kind.nnMethod()
+	fam, ok := model.Lookup(kind)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown model kind %v", kind)
 	}
-	enc, err := dataset.FitEncoder(train, dataset.ForNN)
+	enc, err := dataset.FitEncoder(train, fam.Mode)
 	if err != nil {
-		return nil, fmt.Errorf("core: preparing NN inputs: %w", err)
+		return nil, fmt.Errorf("core: preparing %v inputs: %w", fam.Mode, err)
 	}
 	x, y, err := enc.Transform(train)
 	if err != nil {
 		return nil, err
 	}
-	model, err := neural.Train(ctx, x, y, neural.Config{
-		Method:     m,
+	fitted, err := fam.Fit(ctx, x, y, enc.ColumnNames(), model.FitConfig{
 		Seed:       cfg.Seed,
 		Workers:    cfg.workers(),
 		EpochScale: cfg.EpochScale,
@@ -102,25 +87,32 @@ func Train(ctx context.Context, kind ModelKind, train *dataset.Dataset, cfg Trai
 	if err != nil {
 		return nil, fmt.Errorf("core: training %v: %w", kind, err)
 	}
-	return &Predictor{kind: kind, enc: enc, nn: model, hook: cfg.Hook}, nil
+	return &Predictor{kind: kind, fam: fam, enc: enc, model: fitted, hook: cfg.Hook}, nil
 }
 
 // Kind returns the model kind.
 func (p *Predictor) Kind() ModelKind { return p.kind }
 
+// Family returns the kind's registered family descriptor.
+func (p *Predictor) Family() model.Family { return p.fam }
+
 // Encoder exposes the fitted input encoder.
 func (p *Predictor) Encoder() *dataset.Encoder { return p.enc }
 
-// Predict scores one raw record (in original units).
+// Model exposes the trained model behind the registry interface.
+func (p *Predictor) Model() model.Model { return p.model }
+
+// Predict scores one raw record (in original units). It routes through
+// the same batch kernel as PredictRowsInto, so single-row and batch
+// predictions are bit-identical by construction.
 func (p *Predictor) Predict(row []dataset.Value) (float64, error) {
 	x, err := p.enc.EncodeRow(row)
 	if err != nil {
 		return 0, err
 	}
-	if p.lr != nil {
-		return p.enc.UnscaleTarget(p.lr.Predict(x)), nil
-	}
-	return p.enc.UnscaleTarget(p.nn.Predict(x)), nil
+	var out [1]float64
+	p.model.PredictAllInto(out[:], [][]float64{x}, p.fam.NewScratch())
+	return p.enc.UnscaleTarget(out[0]), nil
 }
 
 // predictChunk is the batch size of one parallel prediction task, and
@@ -138,13 +130,29 @@ type predictScratchKey struct{}
 
 // predictScratch holds one worker's reusable buffers for chunked
 // prediction: the encoded input rows of the current chunk (backed by one
-// flat allocation) and the neural forward scratch. Inside a pool the
-// buffers live as long as the worker, so every chunk and every fold
-// evaluation the worker scores reuses them.
+// flat allocation) and each family's prediction scratch, keyed by the
+// family's artifact tag. Inside a pool the buffers live as long as the
+// worker, so every chunk and every fold evaluation the worker scores
+// reuses them — even when the worker serves a mix of families.
 type predictScratch struct {
 	rows [][]float64
 	flat []float64
-	nn   *neural.Scratch
+	fams map[string]model.Scratch
+}
+
+// scratchFor returns the worker's reusable scratch for one family,
+// creating it on first use. Families that need no scratch cache their nil
+// so NewScratch runs once per worker, not once per call.
+func (ps *predictScratch) scratchFor(fam model.Family) model.Scratch {
+	s, ok := ps.fams[fam.Tag]
+	if !ok {
+		if ps.fams == nil {
+			ps.fams = make(map[string]model.Scratch, 1)
+		}
+		s = fam.NewScratch()
+		ps.fams[fam.Tag] = s
+	}
+	return s
 }
 
 func predictScratchFrom(ctx context.Context) *predictScratch {
@@ -179,21 +187,12 @@ func (p *Predictor) encodeChunk(ps *predictScratch, d *dataset.Dataset, lo, hi i
 	return p.encodeInto(ps, hi-lo, func(i int) []dataset.Value { return d.Row(lo + i) })
 }
 
-// scoreEncoded runs the batched model kernel over encoded rows, writing
-// raw-unit predictions into out (len(out) == len(rows)).
+// scoreEncoded runs the family's batched kernel over encoded rows,
+// writing raw-unit predictions into out (len(out) == len(rows)).
 func (p *Predictor) scoreEncoded(ps *predictScratch, out []float64, rows [][]float64) {
-	if p.nn != nil {
-		if ps.nn == nil {
-			ps.nn = neural.NewScratch()
-		}
-		p.nn.PredictAllInto(out, rows, ps.nn)
-		for i := range out {
-			out[i] = p.enc.UnscaleTarget(out[i])
-		}
-		return
-	}
-	for i, row := range rows {
-		out[i] = p.enc.UnscaleTarget(p.lr.Predict(row))
+	p.model.PredictAllInto(out, rows, ps.scratchFor(p.fam))
+	for i := range out {
+		out[i] = p.enc.UnscaleTarget(out[i])
 	}
 }
 
@@ -201,8 +200,9 @@ func (p *Predictor) scoreEncoded(ps *predictScratch, out []float64, rows [][]flo
 // have len(rows) elements. It is the serving path's kernel entry: rows
 // are encoded into worker-local flat buffers (engine.WorkerLocal — give
 // long-lived callers a context from engine.NewWorkerContext) and
-// streamed through the batched kernel, so steady-state calls allocate
-// nothing and produce predictions bit-identical to Predict on each row.
+// streamed through the family's batched kernel, so steady-state calls
+// allocate nothing and produce predictions bit-identical to Predict on
+// each row.
 func (p *Predictor) PredictRowsInto(ctx context.Context, out []float64, rows [][]dataset.Value) error {
 	if len(out) != len(rows) {
 		return fmt.Errorf("core: PredictRowsInto out has %d slots for %d rows", len(out), len(rows))
@@ -223,7 +223,7 @@ func (p *Predictor) PredictRowsInto(ctx context.Context, out []float64, rows [][
 // whole-space predictions of Figure 1a) are scored as a chunked parallel
 // map on the engine pool; output order always matches record order and is
 // independent of scheduling. Each chunk is encoded into worker-local
-// buffers and streamed through the batched neural kernel, and its
+// buffers and streamed through the family's batched kernel, and its
 // in-kernel time is reported as a KernelTime event, so RunReports break
 // out predict-phase kernel throughput.
 func (p *Predictor) PredictDataset(ctx context.Context, d *dataset.Dataset) ([]float64, error) {

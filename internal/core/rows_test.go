@@ -9,14 +9,16 @@ import (
 
 	"perfpred/internal/dataset"
 	"perfpred/internal/engine"
+	"perfpred/internal/tree"
 )
 
 // TestPredictRowsIntoMatchesPredict pins the serving batch entry to the
-// per-row scalar path: for both model families, PredictRowsInto over a
-// slice of raw rows must be bit-identical to Predict called row by row.
+// per-row scalar path: for one kind of every registered family,
+// PredictRowsInto over a slice of raw rows must be bit-identical to
+// Predict called row by row.
 func TestPredictRowsIntoMatchesPredict(t *testing.T) {
 	d := synthSpace(t, 96, 5)
-	for _, kind := range []ModelKind{LRE, NNS} {
+	for _, kind := range []ModelKind{LRE, NNS, tree.KindTreeB} {
 		p, err := Train(context.Background(), kind, d, quickCfg())
 		if err != nil {
 			t.Fatal(err)
@@ -50,30 +52,35 @@ func TestPredictRowsIntoMatchesPredict(t *testing.T) {
 }
 
 // TestPredictRowsIntoZeroAlloc pins the serving hot path: with a
-// worker-local context, steady-state batch scoring allocates nothing.
+// worker-local context, steady-state batch scoring allocates nothing —
+// for the neural family (whose scratch carries forward buffers) and for
+// the tree family (which needs none), sharing one worker context the way
+// a mixed-model serving worker does.
 func TestPredictRowsIntoZeroAlloc(t *testing.T) {
 	d := synthSpace(t, 64, 7)
-	p, err := Train(context.Background(), NNS, d, quickCfg())
-	if err != nil {
-		t.Fatal(err)
-	}
 	rows := make([][]dataset.Value, d.Len())
 	for i := range rows {
 		rows[i] = d.Row(i)
 	}
 	out := make([]float64, len(rows))
 	ctx := engine.NewWorkerContext(context.Background())
-	// Warm the worker-local scratch, then demand zero allocations.
-	if err := p.PredictRowsInto(ctx, out, rows); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(20, func() {
+	for _, kind := range []ModelKind{NNS, tree.KindTreeB} {
+		p, err := Train(context.Background(), kind, d, quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm the worker-local scratch, then demand zero allocations.
 		if err := p.PredictRowsInto(ctx, out, rows); err != nil {
 			t.Fatal(err)
 		}
-	})
-	if allocs != 0 {
-		t.Fatalf("PredictRowsInto allocates %v allocs/op in steady state, want 0", allocs)
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := p.PredictRowsInto(ctx, out, rows); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: PredictRowsInto allocates %v allocs/op in steady state, want 0", kind, allocs)
+		}
 	}
 }
 
@@ -147,7 +154,7 @@ func TestValidateCatchesWidthMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frank := &Predictor{kind: p.kind, enc: q.enc, nn: p.nn}
+	frank := &Predictor{kind: p.kind, fam: p.fam, enc: q.enc, model: p.model}
 	err = frank.Validate()
 	if err == nil {
 		t.Fatal("width-mismatched predictor validated")

@@ -7,77 +7,111 @@ import (
 	"os"
 
 	"perfpred/internal/dataset"
-	"perfpred/internal/linreg"
-	"perfpred/internal/neural"
+	"perfpred/internal/model"
 )
 
+// predictorState is the artifact wire format. Version 2 carries one
+// opaque model payload plus the versioned family tag that identifies its
+// codec; version 1 artifacts (decoded for backward compatibility, never
+// written) identified the family implicitly by which of the lr/nn
+// payloads was present.
 type predictorState struct {
 	Version int             `json:"version"`
 	Kind    ModelKind       `json:"kind"`
+	Family  string          `json:"family,omitempty"`
 	Encoder json.RawMessage `json:"encoder"`
-	LR      json.RawMessage `json:"lr,omitempty"`
-	NN      json.RawMessage `json:"nn,omitempty"`
+	Model   json.RawMessage `json:"model,omitempty"`
+	// LR and NN are the version-1 payload slots, retained for decode only.
+	LR json.RawMessage `json:"lr,omitempty"`
+	NN json.RawMessage `json:"nn,omitempty"`
 }
 
-const predictorVersion = 1
+const predictorVersion = 2
 
-// MarshalJSON serializes the trained predictor — model weights plus the
-// fitted input encoder — so a surrogate can be stored and reused without
-// retraining.
+// Version-1 artifacts carried no family tag; which payload slot was
+// populated implied the codec. These are the tags those slots map to.
+const (
+	legacyLRTag = "linreg/v1"
+	legacyNNTag = "neural/v1"
+)
+
+// MarshalJSON serializes the trained predictor — model payload, family
+// tag, and the fitted input encoder — so a surrogate can be stored and
+// reused without retraining.
 func (p *Predictor) MarshalJSON() ([]byte, error) {
 	enc, err := json.Marshal(p.enc)
 	if err != nil {
 		return nil, err
 	}
-	st := predictorState{Version: predictorVersion, Kind: p.kind, Encoder: enc}
-	if p.lr != nil {
-		if st.LR, err = json.Marshal(p.lr); err != nil {
-			return nil, err
-		}
+	payload, err := p.model.Marshal()
+	if err != nil {
+		return nil, err
 	}
-	if p.nn != nil {
-		if st.NN, err = json.Marshal(p.nn); err != nil {
-			return nil, err
-		}
-	}
-	return json.Marshal(st)
+	return json.Marshal(predictorState{
+		Version: predictorVersion,
+		Kind:    p.kind,
+		Family:  p.fam.Tag,
+		Encoder: enc,
+		Model:   payload,
+	})
 }
 
-// UnmarshalPredictor restores a predictor serialized by MarshalJSON.
+// UnmarshalPredictor restores a predictor serialized by MarshalJSON. It
+// decodes both the current version-2 format and legacy version-1
+// artifacts, and rejects artifacts whose payload slots are inconsistent
+// (both set, none set, or a payload that contradicts the declared kind).
 func UnmarshalPredictor(data []byte) (*Predictor, error) {
 	var st predictorState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return nil, fmt.Errorf("core: decoding predictor: %w", err)
 	}
-	if st.Version != predictorVersion {
+	fam, ok := model.Lookup(st.Kind)
+	if !ok {
+		return nil, fmt.Errorf("core: predictor has unknown model kind %v", st.Kind)
+	}
+	var payload json.RawMessage
+	switch st.Version {
+	case 1:
+		// Legacy format: the populated slot implies the family.
+		switch {
+		case st.LR != nil && st.NN != nil:
+			return nil, fmt.Errorf("core: predictor carries both LR and NN payloads")
+		case st.LR != nil:
+			if fam.Tag != legacyLRTag {
+				return nil, fmt.Errorf("core: %v predictor with an LR payload", st.Kind)
+			}
+			payload = st.LR
+		case st.NN != nil:
+			if fam.Tag != legacyNNTag {
+				return nil, fmt.Errorf("core: %v predictor with an NN payload", st.Kind)
+			}
+			payload = st.NN
+		default:
+			return nil, fmt.Errorf("core: predictor has no model payload")
+		}
+	case predictorVersion:
+		if st.LR != nil || st.NN != nil {
+			return nil, fmt.Errorf("core: version %d predictor carries legacy payload slots", st.Version)
+		}
+		if st.Model == nil {
+			return nil, fmt.Errorf("core: predictor has no model payload")
+		}
+		if st.Family != fam.Tag {
+			return nil, fmt.Errorf("core: predictor family %q does not match %v (family %q)", st.Family, st.Kind, fam.Tag)
+		}
+		payload = st.Model
+	default:
 		return nil, fmt.Errorf("core: unsupported predictor version %d", st.Version)
 	}
 	enc, err := dataset.UnmarshalEncoder(st.Encoder)
 	if err != nil {
 		return nil, err
 	}
-	p := &Predictor{kind: st.Kind, enc: enc}
-	switch {
-	case st.LR != nil && st.NN != nil:
-		return nil, fmt.Errorf("core: predictor carries both LR and NN payloads")
-	case st.LR != nil:
-		if st.Kind.IsNeural() {
-			return nil, fmt.Errorf("core: %v predictor with an LR payload", st.Kind)
-		}
-		if p.lr, err = linreg.UnmarshalModel(st.LR); err != nil {
-			return nil, err
-		}
-	case st.NN != nil:
-		if !st.Kind.IsNeural() {
-			return nil, fmt.Errorf("core: %v predictor with an NN payload", st.Kind)
-		}
-		if p.nn, err = neural.UnmarshalModel(st.NN); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("core: predictor has no model payload")
+	m, err := fam.Unmarshal(payload)
+	if err != nil {
+		return nil, err
 	}
-	return p, nil
+	return &Predictor{kind: st.Kind, fam: fam, enc: enc, model: m}, nil
 }
 
 // Save writes the predictor to w as JSON.
@@ -120,7 +154,7 @@ func LoadPredictorFile(path string) (*Predictor, error) {
 
 // Validate cross-checks the predictor's model payload against its fitted
 // encoder: the model's expected input width must match the encoder's
-// column count. Deserialization already guarantees kind/payload
+// column count. Deserialization already guarantees kind/family/payload
 // consistency; this catches artifacts assembled from mismatched parts
 // (e.g. a hand-edited file pairing one run's weights with another run's
 // encoder).
@@ -132,16 +166,10 @@ func (p *Predictor) Validate() error {
 	if width == 0 {
 		return fmt.Errorf("core: predictor encoder has no input columns")
 	}
-	var got int
-	switch {
-	case p.nn != nil:
-		got = p.nn.NumInputs()
-	case p.lr != nil:
-		got = p.lr.NumInputs()
-	default:
+	if p.model == nil {
 		return fmt.Errorf("core: predictor has no model payload")
 	}
-	if got != width {
+	if got := p.model.NumInputs(); got != width {
 		return fmt.Errorf("core: predictor %v expects %d inputs but its encoder produces %d columns", p.kind, got, width)
 	}
 	return nil

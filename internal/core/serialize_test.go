@@ -7,10 +7,13 @@ import (
 	"testing"
 )
 
+// TestPredictorSaveLoadRoundTrip covers every registered kind — any
+// family added to the registry is automatically held to the same
+// bit-identical persistence contract.
 func TestPredictorSaveLoadRoundTrip(t *testing.T) {
 	train := synthSpace(t, 150, 21)
 	probeRows := synthSpace(t, 20, 22)
-	for _, kind := range []ModelKind{LRE, LRB, NNQ, NNS} {
+	for _, kind := range AllModels() {
 		p, err := Train(context.Background(), kind, train, quickCfg())
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
@@ -68,24 +71,92 @@ func TestPredictorLoadRejectsPayloadMismatch(t *testing.T) {
 	if err := json.Unmarshal(data, &st); err != nil {
 		t.Fatal(err)
 	}
-	// Claim the LR payload belongs to a neural kind.
-	st["kind"] = json.RawMessage("9") // NNS
-	bad, err := json.Marshal(st)
-	if err != nil {
-		t.Fatal(err)
+	mutate := func(change func(m map[string]json.RawMessage)) []byte {
+		m := make(map[string]json.RawMessage, len(st))
+		for k, v := range st {
+			m[k] = v
+		}
+		change(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
 	}
+	// Claim the linreg payload belongs to a neural kind: the family tag
+	// no longer matches the kind's registered family.
+	bad := mutate(func(m map[string]json.RawMessage) { m["kind"] = json.RawMessage("9") }) // NNS
 	if _, err := UnmarshalPredictor(bad); err == nil {
-		t.Fatal("kind/payload mismatch: want error")
+		t.Fatal("kind/family mismatch: want error")
 	}
 	// Strip the payload entirely.
-	delete(st, "lr")
-	st["kind"] = json.RawMessage("0")
-	empty, err := json.Marshal(st)
-	if err != nil {
-		t.Fatal(err)
-	}
+	empty := mutate(func(m map[string]json.RawMessage) { delete(m, "model") })
 	if _, err := UnmarshalPredictor(empty); err == nil {
 		t.Fatal("missing payload: want error")
+	}
+	// A v2 artifact smuggling a legacy slot next to its payload is
+	// ambiguous and rejected.
+	both := mutate(func(m map[string]json.RawMessage) { m["lr"] = m["model"] })
+	if _, err := UnmarshalPredictor(both); err == nil {
+		t.Fatal("v2 artifact with legacy slot: want error")
+	}
+}
+
+// TestPredictorLoadV1Compat pins the backward-compat decode path: a
+// version-1 artifact (payload in the lr/nn slot, no family tag) still
+// loads and predicts identically, and its slot/kind consistency rules
+// still hold.
+func TestPredictorLoadV1Compat(t *testing.T) {
+	train := synthSpace(t, 80, 25)
+	for _, tc := range []struct {
+		kind ModelKind
+		slot string
+	}{{LRE, "lr"}, {NNS, "nn"}} {
+		p, err := Train(context.Background(), tc.kind, train, quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st map[string]json.RawMessage
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		// Rewrite the v2 artifact as its v1 equivalent.
+		st["version"] = json.RawMessage("1")
+		st[tc.slot] = st["model"]
+		delete(st, "model")
+		delete(st, "family")
+		v1, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalPredictor(v1)
+		if err != nil {
+			t.Fatalf("%v: v1 artifact rejected: %v", tc.kind, err)
+		}
+		want, err := p.Predict(train.Row(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Predict(train.Row(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: v1-loaded predictor predicts %v, original %v", tc.kind, got, want)
+		}
+		// Both legacy slots at once is ambiguous and rejected.
+		st["lr"], st["nn"] = st[tc.slot], st[tc.slot]
+		dual, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := UnmarshalPredictor(dual); err == nil {
+			t.Fatalf("%v: v1 artifact with both payloads accepted", tc.kind)
+		}
 	}
 }
 

@@ -1,0 +1,91 @@
+package linreg
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/model"
+)
+
+// artifactTag is the versioned payload identifier of every linear-
+// regression artifact. Bump the suffix on any incompatible change to the
+// wire format so old payloads can never be decoded by new code.
+const artifactTag = "linreg/v1"
+
+// familyModel adapts *Model to the registry's model.Model contract.
+type familyModel struct{ *Model }
+
+// PredictAllInto scores every row; linear prediction needs no scratch.
+func (f familyModel) PredictAllInto(dst []float64, x [][]float64, _ model.Scratch) {
+	for i, row := range x {
+		dst[i] = f.Predict(row)
+	}
+}
+
+// Importance reports each column's absolute standardized beta (paper
+// §4.4); columns the selection method dropped score zero.
+func (f familyModel) Importance([][]float64) ([]float64, error) {
+	imp := make([]float64, len(f.coef))
+	for si, j := range f.selected {
+		imp[j] = math.Abs(f.coeffs[si].StdBeta)
+	}
+	return imp, nil
+}
+
+// SelectedColumns returns the design columns the selection method kept.
+func (f familyModel) SelectedColumns() []int {
+	return append([]int(nil), f.selected...)
+}
+
+// Marshal serializes the model payload (the family tag travels in the
+// enclosing artifact, not here).
+func (f familyModel) Marshal() ([]byte, error) { return json.Marshal(f.Model) }
+
+// kindOf pins each selection method to its registry kind. The numbers are
+// part of the artifact format and can never change.
+func kindOf(m Method) model.Kind {
+	switch m {
+	case Enter:
+		return model.LRE
+	case Stepwise:
+		return model.LRS
+	case Backward:
+		return model.LRB
+	case Forward:
+		return model.LRF
+	}
+	panic("linreg: method without a registry kind")
+}
+
+func init() {
+	for _, m := range Methods() {
+		m := m
+		model.Register(kindOf(m), model.Family{
+			Name: m.String(),
+			Tag:  artifactTag,
+			Mode: dataset.ForLR,
+			Fit: func(ctx context.Context, x [][]float64, y []float64, names []string, _ model.FitConfig) (model.Model, error) {
+				// The least-squares fits are deterministic and fast; honoring
+				// cancellation at entry is enough.
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				fitted, err := Fit(x, y, names, Options{Method: m})
+				if err != nil {
+					return nil, err
+				}
+				return familyModel{fitted}, nil
+			},
+			NewScratch: func() model.Scratch { return nil },
+			Unmarshal: func(data []byte) (model.Model, error) {
+				fitted, err := UnmarshalModel(data)
+				if err != nil {
+					return nil, err
+				}
+				return familyModel{fitted}, nil
+			},
+		})
+	}
+}

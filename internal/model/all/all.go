@@ -1,0 +1,12 @@
+// Package all links every in-tree model family into the registry, the
+// way database/sql drivers are linked: each family package registers
+// itself from init, and importing this package pulls them all in. Core
+// blank-imports it, so every binary built on core sees the full zoo;
+// adding a family is one new package plus one import line here.
+package all
+
+import (
+	_ "perfpred/internal/linreg"
+	_ "perfpred/internal/neural"
+	_ "perfpred/internal/tree"
+)

@@ -1,0 +1,98 @@
+// Package model defines the family-open seam of the predictor stack: a
+// Model interface every trained surrogate implements, a Family
+// descriptor declaring how one ModelKind trains, encodes, predicts and
+// persists, and a process-wide registry mapping kinds to families.
+//
+// Everything above this package — training, cross-validated error
+// estimation, the Select rule, serialization, importance reporting, and
+// the serving daemon — dispatches through the registry, so adding a new
+// model family is one new package that calls Register from its init
+// (plus one import line in model/all). Core and serve never change.
+package model
+
+import (
+	"context"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/engine"
+)
+
+// Scratch holds family-specific reusable prediction buffers. The concrete
+// type is private to each family (e.g. the neural forward scratch);
+// callers obtain one from Family.NewScratch, keep it worker-local, and
+// pass it back on every PredictAllInto so steady-state batch scoring
+// allocates nothing. Families that need no scratch return nil.
+type Scratch any
+
+// FitConfig carries the training knobs a family receives. Every
+// stochastic choice must derive from Seed alone so a fit is bit-identical
+// for any worker count or schedule.
+type FitConfig struct {
+	// Seed drives every stochastic choice of the fit.
+	Seed int64
+	// Workers bounds intra-fit parallelism (already resolved by the
+	// caller; never zero).
+	Workers int
+	// EpochScale scales iterative training budgets (0 = 1.0).
+	EpochScale float64
+	// Hook, if non-nil, observes execution and kernel-time events.
+	// Observability only; must never affect results.
+	Hook engine.Hook
+}
+
+// Model is one trained model of any family, bound to encoded inputs (the
+// caller owns the Encoder that produced them). Implementations must be
+// safe for concurrent readers: prediction state lives in the caller's
+// Scratch, never in the model.
+type Model interface {
+	// NumInputs returns the encoded input width the model expects;
+	// loaders cross-check it against the artifact's encoder.
+	NumInputs() int
+	// PredictAllInto writes one prediction per row of x into dst
+	// (len(dst) == len(x)), in model-space units. s comes from the
+	// family's NewScratch (possibly nil); with a warmed scratch the call
+	// must not allocate.
+	PredictAllInto(dst []float64, x [][]float64, s Scratch)
+	// Importance returns a relative importance score per encoded input
+	// column (len == NumInputs), probed against (a sample of) the
+	// training matrix. Scores are non-negative; 0 means no influence.
+	Importance(x [][]float64) ([]float64, error)
+	// Marshal serializes the model payload. Family.Unmarshal must invert
+	// it bit-exactly: a round-tripped model predicts identically.
+	Marshal() ([]byte, error)
+}
+
+// Selector is optionally implemented by models whose training performs
+// input selection (stepwise regression drops predictors, pruned networks
+// freeze inputs, trees never split on a column). SelectedColumns returns
+// the retained encoded-column indices in ascending order.
+type Selector interface {
+	SelectedColumns() []int
+}
+
+// Family describes one registered model kind: how to encode its inputs,
+// train it, allocate its prediction scratch, and decode its persisted
+// payload. All fields are mandatory except where noted.
+type Family struct {
+	// Name is the model's display label, e.g. "LR-B", "NN-E", "TREE-B".
+	// Names are unique across the registry and are the wire form of the
+	// kind (CLI -models flags, reports, /v1/models).
+	Name string
+	// Tag is the versioned artifact payload identifier, e.g. "tree/v1".
+	// It is written into every serialized predictor and checked on load,
+	// so a payload can never be decoded by the wrong family or the wrong
+	// generation of the same family.
+	Tag string
+	// Mode declares the dataset encoding the family's inputs require.
+	// Encoders are declared here, not inferred from the kind.
+	Mode dataset.Mode
+	// Fit trains a model on the encoded design matrix x and target y.
+	// names labels x's columns (for coefficient reports). Fit must honor
+	// ctx cancellation promptly and derive all randomness from cfg.Seed.
+	Fit func(ctx context.Context, x [][]float64, y []float64, names []string, cfg FitConfig) (Model, error)
+	// NewScratch allocates the family's reusable prediction scratch
+	// (nil if the family needs none).
+	NewScratch func() Scratch
+	// Unmarshal decodes a payload produced by Model.Marshal.
+	Unmarshal func(data []byte) (Model, error)
+}

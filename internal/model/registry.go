@@ -1,0 +1,146 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind identifies one registered model kind. The integer value is part of
+// the artifact format (serialized predictors store it), so a family must
+// pin its kind number forever; the registry panics on collisions.
+type Kind int
+
+// The paper's model zoo occupies kinds 0–9 (four linear-regression
+// selection methods, five neural training methods, plus the NN-S
+// single-layer baseline). Families beyond the paper register kinds ≥ 10
+// from their own packages; these constants exist so the paper workflows
+// (figure orderings, golden runs) can name their models without knowing
+// which package implements them.
+const (
+	// LRE is linear regression with the Enter method (all predictors).
+	LRE Kind = iota
+	// LRS is stepwise linear regression.
+	LRS
+	// LRB is backwards linear regression.
+	LRB
+	// LRF is forwards linear regression.
+	LRF
+	// NNQ is the Quick neural network.
+	NNQ
+	// NND is the Dynamic neural network.
+	NND
+	// NNM is the Multiple neural network.
+	NNM
+	// NNP is the Prune neural network.
+	NNP
+	// NNE is the Exhaustive Prune neural network.
+	NNE
+	// NNS is the single-layer constant-learning-rate network (the
+	// Ipek-style baseline the paper compares against).
+	NNS
+)
+
+// registry state. Registration happens in package inits (single-threaded,
+// before main); lookups afterwards are read-only, so reads take no lock.
+var (
+	regMu    sync.Mutex
+	families = map[Kind]Family{}
+	byName   = map[string]Kind{}
+)
+
+// Register binds a kind to its family descriptor. It panics on a
+// duplicate kind or name and on an incomplete descriptor — both are
+// build-time wiring mistakes, never runtime conditions.
+func Register(k Kind, f Family) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if err := checkFamily(k, f); err != nil {
+		panic(err)
+	}
+	if prev, ok := families[k]; ok {
+		panic(fmt.Sprintf("model: kind %d registered twice (%q and %q)", int(k), prev.Name, f.Name))
+	}
+	if prev, ok := byName[f.Name]; ok {
+		panic(fmt.Sprintf("model: name %q registered twice (kinds %d and %d)", f.Name, int(prev), int(k)))
+	}
+	families[k] = f
+	byName[f.Name] = k
+}
+
+// checkFamily validates one descriptor's completeness.
+func checkFamily(k Kind, f Family) error {
+	switch {
+	case f.Name == "":
+		return fmt.Errorf("model: kind %d has no name", int(k))
+	case f.Tag == "":
+		return fmt.Errorf("model: family %q has no artifact tag", f.Name)
+	case f.Fit == nil:
+		return fmt.Errorf("model: family %q has no Fit", f.Name)
+	case f.NewScratch == nil:
+		return fmt.Errorf("model: family %q has no NewScratch", f.Name)
+	case f.Unmarshal == nil:
+		return fmt.Errorf("model: family %q has no Unmarshal", f.Name)
+	}
+	return nil
+}
+
+// Lookup resolves a kind's family descriptor.
+func Lookup(k Kind) (Family, bool) {
+	f, ok := families[k]
+	return f, ok
+}
+
+// Kinds lists every registered kind in ascending order — the open
+// counterpart of the paper's fixed model lists.
+func Kinds() []Kind {
+	out := make([]Kind, 0, len(families))
+	for k := range families {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parse converts a display label (e.g. "TREE-B") to its kind.
+func Parse(s string) (Kind, error) {
+	if k, ok := byName[s]; ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("model: unknown model %q", s)
+}
+
+// CheckRegistry re-validates every registered descriptor — the
+// registry-completeness gate CI runs. It fails if any declared paper kind
+// lacks a family or any descriptor is incomplete.
+func CheckRegistry() error {
+	for k := LRE; k <= NNS; k++ {
+		if _, ok := families[k]; !ok {
+			return fmt.Errorf("model: paper kind %d has no registered family", int(k))
+		}
+	}
+	for k, f := range families {
+		if err := checkFamily(k, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String returns the registered display label, or a diagnostic form for
+// unregistered kinds.
+func (k Kind) String() string {
+	if f, ok := families[k]; ok {
+		return f.Name
+	}
+	return fmt.Sprintf("ModelKind(%d)", int(k))
+}
+
+// Tag returns the registered artifact tag ("" for unregistered kinds).
+func (k Kind) Tag() string { return families[k].Tag }
+
+// IsNeural reports whether the kind belongs to the neural-network family
+// — the paper's LR-versus-NN grouping (Figures 7–8). Families outside
+// that dichotomy (trees, say) are neither.
+func (k Kind) IsNeural() bool { return strings.HasPrefix(k.Tag(), "neural/") }

@@ -1,0 +1,107 @@
+package model_test
+
+import (
+	"strings"
+	"testing"
+
+	"perfpred/internal/model"
+	_ "perfpred/internal/model/all"
+)
+
+// TestRegistryComplete is the registry-completeness gate CI runs: every
+// paper kind has a family, every descriptor is complete, names and tags
+// are unique and versioned, and labels parse back to their kinds.
+func TestRegistryComplete(t *testing.T) {
+	if err := model.CheckRegistry(); err != nil {
+		t.Fatal(err)
+	}
+	kinds := model.Kinds()
+	if len(kinds) < 11 {
+		t.Fatalf("registry holds %d kinds, want the 10 paper kinds plus TREE-B", len(kinds))
+	}
+	for _, k := range kinds {
+		fam, ok := model.Lookup(k)
+		if !ok {
+			t.Fatalf("Kinds lists %d but Lookup misses it", int(k))
+		}
+		if k.String() != fam.Name {
+			t.Errorf("kind %d: String %q != family name %q", int(k), k.String(), fam.Name)
+		}
+		if k.Tag() != fam.Tag {
+			t.Errorf("%s: Tag %q != family tag %q", fam.Name, k.Tag(), fam.Tag)
+		}
+		// Tags are versioned codec identifiers; kinds of one family share
+		// theirs (all LR methods write "linreg/v1" payloads).
+		if !strings.Contains(fam.Tag, "/v") {
+			t.Errorf("%s: artifact tag %q is not versioned", fam.Name, fam.Tag)
+		}
+		back, err := model.Parse(fam.Name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", fam.Name, err)
+		} else if back != k {
+			t.Errorf("Parse(%q) = %v, want %v", fam.Name, back, k)
+		}
+	}
+}
+
+func TestNeuralGrouping(t *testing.T) {
+	for _, k := range model.Kinds() {
+		want := strings.HasPrefix(k.Tag(), "neural/")
+		if k.IsNeural() != want {
+			t.Errorf("%v: IsNeural = %v, want %v", k, k.IsNeural(), want)
+		}
+	}
+}
+
+func TestUnregisteredKind(t *testing.T) {
+	const bogus model.Kind = 9999
+	if _, ok := model.Lookup(bogus); ok {
+		t.Fatal("Lookup(9999) succeeded")
+	}
+	if got := bogus.String(); got != "ModelKind(9999)" {
+		t.Fatalf("String = %q", got)
+	}
+	if bogus.Tag() != "" || bogus.IsNeural() {
+		t.Fatal("unregistered kind has a tag or neural grouping")
+	}
+	if _, err := model.Parse("NOPE"); err == nil {
+		t.Fatal("Parse accepted an unknown label")
+	}
+}
+
+// TestRegisterPanics pins the wiring mistakes Register refuses: kind and
+// name collisions and incomplete descriptors. Each panics before mutating
+// the registry, so these probes leave no residue for other tests.
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		f()
+	}
+	complete := func(name, tag string) model.Family {
+		fam, _ := model.Lookup(model.LRE)
+		fam.Name, fam.Tag = name, tag
+		return fam
+	}
+	mustPanic("duplicate kind", func() {
+		model.Register(model.LRE, complete("X-DUP", "x/v1"))
+	})
+	mustPanic("duplicate name", func() {
+		model.Register(model.Kind(9000), complete("LR-E", "x/v1"))
+	})
+	mustPanic("no name", func() {
+		model.Register(model.Kind(9000), complete("", "x/v1"))
+	})
+	mustPanic("no tag", func() {
+		model.Register(model.Kind(9000), complete("X-DUP", ""))
+	})
+	mustPanic("no fit", func() {
+		fam := complete("X-DUP", "x/v1")
+		fam.Fit = nil
+		model.Register(model.Kind(9000), fam)
+	})
+}

@@ -1,0 +1,94 @@
+package neural
+
+import (
+	"context"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/model"
+)
+
+// artifactTag is the versioned payload identifier of every neural
+// artifact. Bump the suffix on any incompatible change to the wire format
+// so old payloads can never be decoded by new code.
+const artifactTag = "neural/v1"
+
+// familyModel adapts *Model to the registry's model.Model contract.
+// NumInputs and Importance come from the embedded model unchanged.
+type familyModel struct{ *Model }
+
+// PredictAllInto routes the batch through the allocation-free batched
+// forward kernel with the caller's reusable scratch.
+func (f familyModel) PredictAllInto(dst []float64, x [][]float64, s model.Scratch) {
+	var ns *Scratch
+	if s != nil {
+		ns = s.(*Scratch)
+	}
+	f.Model.PredictAllInto(dst, x, ns)
+}
+
+// SelectedColumns returns the inputs the pruning trainers left unfrozen.
+func (f familyModel) SelectedColumns() []int {
+	var out []int
+	for j := 0; j < f.net.NumInputs(); j++ {
+		if !f.net.InputFrozen(j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Marshal serializes the model payload (the family tag travels in the
+// enclosing artifact, not here).
+func (f familyModel) Marshal() ([]byte, error) { return f.Model.MarshalJSON() }
+
+// kindOf pins each training method to its registry kind. The numbers are
+// part of the artifact format and can never change.
+func kindOf(m Method) model.Kind {
+	switch m {
+	case Quick:
+		return model.NNQ
+	case Dynamic:
+		return model.NND
+	case Multiple:
+		return model.NNM
+	case Prune:
+		return model.NNP
+	case ExhaustivePrune:
+		return model.NNE
+	case Single:
+		return model.NNS
+	}
+	panic("neural: method without a registry kind")
+}
+
+func init() {
+	for _, m := range Methods() {
+		m := m
+		model.Register(kindOf(m), model.Family{
+			Name: m.String(),
+			Tag:  artifactTag,
+			Mode: dataset.ForNN,
+			Fit: func(ctx context.Context, x [][]float64, y []float64, _ []string, cfg model.FitConfig) (model.Model, error) {
+				trained, err := Train(ctx, x, y, Config{
+					Method:     m,
+					Seed:       cfg.Seed,
+					Workers:    cfg.Workers,
+					EpochScale: cfg.EpochScale,
+					Hook:       cfg.Hook,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return familyModel{trained}, nil
+			},
+			NewScratch: func() model.Scratch { return NewScratch() },
+			Unmarshal: func(data []byte) (model.Model, error) {
+				loaded, err := UnmarshalModel(data)
+				if err != nil {
+					return nil, err
+				}
+				return familyModel{loaded}, nil
+			},
+		})
+	}
+}

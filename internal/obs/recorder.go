@@ -17,9 +17,14 @@ const (
 	MetricEpochEvents      = "engine.epoch_events"
 	MetricQueueWaitSeconds = "engine.queue_wait_seconds"
 	MetricTaskSeconds      = "engine.task_seconds"
-	MetricKernelEvents     = "neural.kernel.events"
-	MetricKernelSamples    = "neural.kernel.samples"
-	MetricKernelSeconds    = "neural.kernel.seconds"
+	// The kernel.* metrics aggregate KernelTime reports from every model
+	// family's numeric kernels (neural SGD epochs, tree growth, batch
+	// prediction sweeps) — the per-kernel breakdown in ExecutionStats keys
+	// on the event label's first token, so new families show up without
+	// recorder changes.
+	MetricKernelEvents  = "kernel.events"
+	MetricKernelSamples = "kernel.samples"
+	MetricKernelSeconds = "kernel.seconds"
 )
 
 // ModelStats aggregates every engine task attributed to one model kind.

@@ -115,8 +115,11 @@ type FieldInfo struct {
 // ModelInfo is one registry entry in the /v1/models response — enough
 // schema for a client to build valid predict requests.
 type ModelInfo struct {
-	Name     string      `json:"name"`
-	Kind     string      `json:"kind"`
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Family is the model's versioned family artifact tag (e.g.
+	// "linreg/v1", "tree/v1") from the registry descriptor.
+	Family   string      `json:"family"`
 	Target   string      `json:"target"`
 	Fields   []FieldInfo `json:"fields"`
 	Columns  int         `json:"columns"`
@@ -150,6 +153,7 @@ func infoFor(m *Model) ModelInfo {
 	return ModelInfo{
 		Name:     m.Name,
 		Kind:     m.Pred.Kind().String(),
+		Family:   m.Pred.Kind().Tag(),
 		Target:   s.Target,
 		Fields:   fields,
 		Columns:  m.Pred.Encoder().NumColumns(),

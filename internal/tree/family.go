@@ -1,0 +1,72 @@
+package tree
+
+import (
+	"context"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/model"
+)
+
+// KindTreeB is TREE-B's registry kind. The paper zoo occupies 0–9; this
+// number is part of the artifact format and can never change.
+const KindTreeB model.Kind = 10
+
+// artifactTag is the versioned payload identifier of every tree artifact.
+const artifactTag = "tree/v1"
+
+// defaultTrees is the ensemble size at EpochScale 1.0; the scale shrinks
+// it for fast test runs the same way it shrinks neural epoch budgets.
+const defaultTrees = 64
+
+// familyModel adapts *Model to the registry's model.Model contract.
+// NumInputs and Importance come from the embedded model unchanged.
+type familyModel struct{ *Model }
+
+// PredictAllInto scores every row; tree walks need no scratch.
+func (f familyModel) PredictAllInto(dst []float64, x [][]float64, _ model.Scratch) {
+	f.Model.PredictAllInto(dst, x)
+}
+
+// Marshal serializes the model payload (the family tag travels in the
+// enclosing artifact, not here).
+func (f familyModel) Marshal() ([]byte, error) { return f.Model.MarshalJSON() }
+
+func init() {
+	model.Register(KindTreeB, model.Family{
+		Name: "TREE-B",
+		Tag:  artifactTag,
+		// Trees split raw column values, so scaling is irrelevant to them —
+		// but the one-hot encoding keeps categoricals usable without a
+		// numeric mapping, and the scaled target matches the family's
+		// in-model units to the neural zoo's.
+		Mode: dataset.ForNN,
+		Fit: func(ctx context.Context, x [][]float64, y []float64, _ []string, cfg model.FitConfig) (model.Model, error) {
+			scale := cfg.EpochScale
+			if scale <= 0 {
+				scale = 1
+			}
+			trees := int(float64(defaultTrees) * scale)
+			if trees < 8 {
+				trees = 8
+			}
+			fitted, err := Fit(ctx, x, y, Config{
+				Trees:   trees,
+				Seed:    cfg.Seed,
+				Workers: cfg.Workers,
+				Hook:    cfg.Hook,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return familyModel{fitted}, nil
+		},
+		NewScratch: func() model.Scratch { return nil },
+		Unmarshal: func(data []byte) (model.Model, error) {
+			loaded, err := UnmarshalModel(data)
+			if err != nil {
+				return nil, err
+			}
+			return familyModel{loaded}, nil
+		},
+	})
+}

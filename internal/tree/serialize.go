@@ -1,0 +1,68 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type modelState struct {
+	Version    int       `json:"version"`
+	NumInputs  int       `json:"num_inputs"`
+	Importance []float64 `json:"importance"`
+	Trees      [][]node  `json:"trees"`
+}
+
+const modelVersion = 1
+
+// MarshalJSON serializes the fitted ensemble so it can be persisted and
+// later used for prediction without refitting.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelState{
+		Version:    modelVersion,
+		NumInputs:  m.numInputs,
+		Importance: m.importance,
+		Trees:      m.trees,
+	})
+}
+
+// UnmarshalModel restores a model serialized by MarshalJSON, validating
+// the node arrays so a corrupted artifact can never send a tree walk out
+// of bounds.
+func UnmarshalModel(data []byte) (*Model, error) {
+	var st modelState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("tree: decoding model: %w", err)
+	}
+	if st.Version != modelVersion {
+		return nil, fmt.Errorf("tree: unsupported model version %d", st.Version)
+	}
+	if st.NumInputs <= 0 {
+		return nil, fmt.Errorf("tree: invalid input width %d", st.NumInputs)
+	}
+	if len(st.Trees) == 0 {
+		return nil, fmt.Errorf("tree: model has no trees")
+	}
+	if len(st.Importance) != st.NumInputs {
+		return nil, fmt.Errorf("tree: %d importance scores for %d inputs", len(st.Importance), st.NumInputs)
+	}
+	for ti, nodes := range st.Trees {
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("tree: tree %d is empty", ti)
+		}
+		for ni, nd := range nodes {
+			if nd.Feature < 0 {
+				continue // leaf
+			}
+			if nd.Feature >= st.NumInputs {
+				return nil, fmt.Errorf("tree: tree %d node %d splits on feature %d of %d", ti, ni, nd.Feature, st.NumInputs)
+			}
+			// Children must point strictly forward in the flat array, which
+			// also guarantees walks terminate.
+			if nd.Left <= int32(ni) || nd.Right <= int32(ni) ||
+				int(nd.Left) >= len(nodes) || int(nd.Right) >= len(nodes) {
+				return nil, fmt.Errorf("tree: tree %d node %d has invalid children [%d, %d]", ti, ni, nd.Left, nd.Right)
+			}
+		}
+	}
+	return &Model{trees: st.Trees, numInputs: st.NumInputs, importance: st.Importance}, nil
+}

@@ -6,10 +6,12 @@
 //
 // The library provides:
 //
-//   - nine predictive models: four linear-regression variable-selection
-//     methods (LR-E, LR-S, LR-B, LR-F) and five neural-network training
-//     methods (NN-Q, NN-D, NN-M, NN-P, NN-E), plus the single-layer NN-S
-//     baseline;
+//   - the paper's nine predictive models: four linear-regression
+//     variable-selection methods (LR-E, LR-S, LR-B, LR-F) and five
+//     neural-network training methods (NN-Q, NN-D, NN-M, NN-P, NN-E),
+//     plus the single-layer NN-S baseline and a bagged regression-tree
+//     ensemble (TREE-B) registered through the open model-family
+//     registry;
 //   - the two workflows of the paper's Figure 1: sampled design-space
 //     exploration (train on 1–5 % of a design space, predict the rest) and
 //     chronological prediction (train on year Y announcements, predict
@@ -39,12 +41,14 @@ import (
 	"perfpred/internal/dataset"
 	"perfpred/internal/engine"
 	"perfpred/internal/specdata"
+	"perfpred/internal/tree"
 )
 
 // ModelKind identifies one of the framework's candidate models.
 type ModelKind = core.ModelKind
 
-// The nine models of the paper plus the NN-S baseline.
+// The nine models of the paper, the NN-S baseline, and the TREE-B
+// tree-ensemble family.
 const (
 	// LRE is linear regression, Enter method (all predictors).
 	LRE = core.LRE
@@ -66,6 +70,9 @@ const (
 	NNE = core.NNE
 	// NNS is the single-layer constant-rate network (Ipek-style baseline).
 	NNS = core.NNS
+	// TreeB is the bagged CART regression-tree ensemble — the first family
+	// registered from outside the paper's zoo, proving the registry seam.
+	TreeB = tree.KindTreeB
 )
 
 // AllModels lists every model kind.

@@ -108,7 +108,7 @@ func TestPublicCustomSchemaFlow(t *testing.T) {
 }
 
 func TestPublicLists(t *testing.T) {
-	if len(AllModels()) != 10 || len(FigureModels()) != 9 || len(SampledModels()) != 3 {
+	if len(AllModels()) != 11 || len(FigureModels()) != 9 || len(SampledModels()) != 3 {
 		t.Fatal("model lists wrong")
 	}
 	if len(SPECFamilies()) != 7 {

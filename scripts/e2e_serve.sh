@@ -25,13 +25,16 @@ go build -o "$work" ./cmd/predict ./cmd/perfpredd ./cmd/specgen
 cd "$work"
 mkdir models
 
-say "train a tiny LR-E model on the Pentium D family"
+say "train tiny LR-E and TREE-B models on the Pentium D family"
 ./predict -train -family "Pentium D" -model LR-E -out models/pd-lre.json -seed 7
+./predict -train -family "Pentium D" -model TREE-B -out models/pd-tree.json -seed 7
 
-say "derive a batch request from real generated data"
+say "derive batch requests from real generated data"
 ./specgen -family "Pentium D" -seed 7 > pd.csv
 ./predict -model-file models/pd-lre.json -csv pd.csv -emit-request 4 > req.json
 ./predict -model-file models/pd-lre.json -json req.json > offline.json
+./predict -model-file models/pd-tree.json -csv pd.csv -emit-request 4 > tree-req.json
+./predict -model-file models/pd-tree.json -json tree-req.json > tree-offline.json
 
 say "start perfpredd"
 ./perfpredd -models models -addr 127.0.0.1:0 -addr-file addr -report serve-report.json \
@@ -51,15 +54,19 @@ import json, sys
 assert json.load(sys.stdin)["status"] == "ok"
 '
 
-say "/v1/models lists the trained model"
+say "/v1/models lists both trained models with their family tags"
 curl -sfS "$base/v1/models" | python3 -c '
 import json, sys
 r = json.load(sys.stdin)
 assert r["generation"] == 1, r
-(m,) = r["models"]
-assert m["name"] == "pd-lre" and m["kind"] == "LR-E", m
-assert m["columns"] > 0 and len(m["fields"]) > 0, m
-print("model pd-lre (LR-E), %d fields -> %d encoded columns" % (len(m["fields"]), m["columns"]))
+by_name = {m["name"]: m for m in r["models"]}
+assert set(by_name) == {"pd-lre", "pd-tree"}, by_name
+lre, tree = by_name["pd-lre"], by_name["pd-tree"]
+assert lre["kind"] == "LR-E" and lre["family"] == "linreg/v1", lre
+assert tree["kind"] == "TREE-B" and tree["family"] == "tree/v1", tree
+for m in (lre, tree):
+    assert m["columns"] > 0 and len(m["fields"]) > 0, m
+print("models: pd-lre (LR-E, linreg/v1), pd-tree (TREE-B, tree/v1)")
 '
 
 say "/v1/predict batch is bit-identical to offline scoring"
@@ -73,6 +80,19 @@ assert on["kind"] == "LR-E" and on["n"] == 4
 assert all(math.isfinite(y) for y in on["predictions"])
 assert on["predictions"] == off["predictions"], (on, off)
 print("4 predictions bit-identical:", on["predictions"])
+EOF
+
+say "/v1/predict TREE-B batch is bit-identical to offline scoring"
+curl -sfS -X POST "$base/v1/predict" --data-binary @tree-req.json > tree-online.json
+python3 - <<'EOF'
+import json, math
+off = json.load(open("tree-offline.json"))
+on = json.load(open("tree-online.json"))
+assert on["model"] == off["model"] == "pd-tree"
+assert on["kind"] == "TREE-B" and on["n"] == 4
+assert all(math.isfinite(y) for y in on["predictions"])
+assert on["predictions"] == off["predictions"], (on, off)
+print("4 TREE-B predictions bit-identical:", on["predictions"])
 EOF
 
 say "/v1/predict single row"
@@ -108,7 +128,7 @@ say "/admin/reload bumps the generation atomically"
 curl -sfS -X POST "$base/admin/reload" | python3 -c '
 import json, sys
 r = json.load(sys.stdin)
-assert r["generation"] == 2 and r["models"] == ["pd-lre"], r
+assert r["generation"] == 2 and r["models"] == ["pd-lre", "pd-tree"], r
 print("reloaded: generation 2")
 '
 
@@ -120,8 +140,8 @@ python3 - <<'EOF'
 import json
 r = json.load(open("serve-report.json"))
 assert r["version"] == 1
-assert r["models"] == ["pd-lre"] and r["generation"] == 2
-assert r["requests"] >= 2 and r["predictions"] >= 5
+assert r["models"] == ["pd-lre", "pd-tree"] and r["generation"] == 2
+assert r["requests"] >= 3 and r["predictions"] >= 9
 assert r["shed"] == 0 and r["errors"] == 0 and r["reloads"] == 1
 assert r["batch_size"]["count"] >= 2
 print("serve report ok: %d requests, %d predictions, %d reloads"
