@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-figures e2e coverage
+.PHONY: check build test race vet bench bench-figures e2e chaos coverage
 
 check: build vet test race
 
@@ -36,6 +36,13 @@ bench:
 # asserting daemon predictions are bit-identical to offline scoring.
 e2e:
 	./scripts/e2e_serve.sh
+
+# Chaos/soak run against an in-process daemon with fault injection
+# armed: deterministic seed-derived schedule, every 200 bit-compared to
+# offline scoring, invariant report written to chaos-report.json. Any
+# failure reproduces from the printed seed.
+chaos:
+	$(GO) run ./cmd/perfpredload -seed 7 -duration 30s -report chaos-report.json
 
 # Coverage summary for the core and serving packages (same profile the
 # CI coverage job uploads as an artifact).

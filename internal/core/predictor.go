@@ -196,6 +196,27 @@ func (p *Predictor) scoreEncoded(ps *predictScratch, out []float64, rows [][]flo
 	}
 }
 
+// CheckRows validates raw request rows against the predictor before any
+// batch admission: every row's width must match the fitted schema, every
+// category must be encodable, and the predictor's model/encoder widths
+// must agree (NumInputs vs encoded columns — guaranteed for artifacts
+// that passed Validate, re-checked here so a mismatch can never reach a
+// kernel). A nil return guarantees PredictRowsInto on the same rows
+// cannot fail with a row error, so serving front ends can map every
+// CheckRows failure to a client error and everything after admission to
+// a server error.
+func (p *Predictor) CheckRows(rows [][]dataset.Value) error {
+	if got, want := p.model.NumInputs(), p.enc.NumColumns(); got != want {
+		return fmt.Errorf("core: predictor %v expects %d inputs but its encoder produces %d columns", p.kind, got, want)
+	}
+	for i, row := range rows {
+		if err := p.enc.ValidateRow(row); err != nil {
+			return fmt.Errorf("core: row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // PredictRowsInto scores a batch of raw records into out, which must
 // have len(rows) elements. It is the serving path's kernel entry: rows
 // are encoded into worker-local flat buffers (engine.WorkerLocal — give

@@ -182,3 +182,112 @@ func TestLoadedPredictorImportancesWork(t *testing.T) {
 		t.Fatal("no importances from a loaded model")
 	}
 }
+
+// TestPredictorDecodeErrorStrings pins the exact error message each
+// malformed artifact shape decodes to, across both wire versions. These
+// strings are part of the operational surface — registry reload
+// failures and predict-CLI errors quote them verbatim — so changing one
+// is a breaking change this table makes deliberate.
+func TestPredictorDecodeErrorStrings(t *testing.T) {
+	train := synthSpace(t, 80, 27)
+	p, err := Train(context.Background(), LRE, train, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base map[string]json.RawMessage
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	artifact := func(change func(m map[string]json.RawMessage)) []byte {
+		m := make(map[string]json.RawMessage, len(base))
+		for k, v := range base {
+			m[k] = v
+		}
+		change(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	// toV1 rewrites the v2 artifact as version 1 with the payload in
+	// slot (or in no slot when slot is empty).
+	toV1 := func(m map[string]json.RawMessage, slots ...string) {
+		m["version"] = json.RawMessage("1")
+		for _, s := range slots {
+			m[s] = m["model"]
+		}
+		delete(m, "model")
+		delete(m, "family")
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{
+			"v1 with both legacy slots",
+			artifact(func(m map[string]json.RawMessage) { toV1(m, "lr", "nn") }),
+			"core: predictor carries both LR and NN payloads",
+		},
+		{
+			"v1 neural kind with LR slot",
+			artifact(func(m map[string]json.RawMessage) {
+				toV1(m, "lr")
+				m["kind"] = json.RawMessage("9") // NNS
+			}),
+			"core: NN-S predictor with an LR payload",
+		},
+		{
+			"v1 linreg kind with NN slot",
+			artifact(func(m map[string]json.RawMessage) { toV1(m, "nn") }),
+			"core: LR-E predictor with an NN payload",
+		},
+		{
+			"v1 with neither slot",
+			artifact(func(m map[string]json.RawMessage) { toV1(m) }),
+			"core: predictor has no model payload",
+		},
+		{
+			"v2 smuggling a legacy slot",
+			artifact(func(m map[string]json.RawMessage) { m["lr"] = m["model"] }),
+			"core: version 2 predictor carries legacy payload slots",
+		},
+		{
+			"v2 without a payload",
+			artifact(func(m map[string]json.RawMessage) { delete(m, "model") }),
+			"core: predictor has no model payload",
+		},
+		{
+			"v2 family/kind mismatch",
+			artifact(func(m map[string]json.RawMessage) { m["kind"] = json.RawMessage("9") }), // NNS
+			`core: predictor family "linreg/v1" does not match NN-S (family "neural/v1")`,
+		},
+		{
+			"unsupported version",
+			artifact(func(m map[string]json.RawMessage) { m["version"] = json.RawMessage("3") }),
+			"core: unsupported predictor version 3",
+		},
+		{
+			"unknown kind",
+			artifact(func(m map[string]json.RawMessage) { m["kind"] = json.RawMessage("99") }),
+			"core: predictor has unknown model kind ModelKind(99)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := UnmarshalPredictor(tc.data)
+			if err == nil {
+				t.Fatal("malformed artifact decoded without error")
+			}
+			if err.Error() != tc.want {
+				t.Errorf("error = %q\nwant    %q", err.Error(), tc.want)
+			}
+		})
+	}
+}

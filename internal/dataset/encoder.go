@@ -227,6 +227,30 @@ func (e *Encoder) EncodeRow(row []Value) ([]float64, error) {
 	return x, nil
 }
 
+// ValidateRow checks one raw record against the fitted encoder without
+// encoding it: row arity against the schema and, for numeric-coded
+// categorical columns, that every category has a numeric mapping. A nil
+// return guarantees EncodeRowInto on the same row cannot fail, which is
+// what lets a serving front end reject bad rows with client errors
+// before they are admitted to the batch queue.
+func (e *Encoder) ValidateRow(row []Value) error {
+	if len(row) != len(e.schema.Fields) {
+		return fmt.Errorf("dataset: row has %d values, schema has %d fields", len(row), len(e.schema.Fields))
+	}
+	for _, c := range e.cols {
+		if c.oneHot {
+			continue
+		}
+		f := e.schema.Fields[c.field]
+		if f.Kind == Categorical {
+			if _, ok := f.NumericLevels[row[c.field].Label()]; !ok {
+				return fmt.Errorf("dataset: field %q: category %q has no numeric mapping", f.Name, row[c.field].Label())
+			}
+		}
+	}
+	return nil
+}
+
 // EncodeRowInto encodes one raw record into dst, which must hold
 // NumColumns() elements — the allocation-free form of EncodeRow that
 // batch scorers use with reused buffers.

@@ -1,0 +1,47 @@
+package faultinject
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts the time source long-lived serving components read, so
+// a chaos harness can skew it. The disabled injector hands out the real
+// clock; components snapshot the clock once at construction and use it
+// for every subsequent reading.
+type Clock interface {
+	// Now returns the clock's current time.
+	Now() time.Time
+	// Since returns the elapsed time between t and Now.
+	Since(t time.Time) time.Duration
+}
+
+// realClock is the production clock: plain time.Now. Zero-sized, so
+// storing it in a Clock interface never allocates.
+type realClock struct{}
+
+func (realClock) Now() time.Time                  { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// skewClock reads real time shifted by a fixed offset plus a
+// deterministic per-reading wobble in [-jitter, +jitter]. Consecutive
+// readings can therefore move backwards (when the wobble swing exceeds
+// real elapsed time) — deliberately, so duration bookkeeping is
+// exercised against non-monotone timestamps.
+type skewClock struct {
+	offset time.Duration
+	jitter time.Duration
+	seed   uint64
+	n      atomic.Uint64
+}
+
+func (c *skewClock) Now() time.Time {
+	skew := c.offset
+	if c.jitter > 0 {
+		span := 2*uint64(c.jitter) + 1
+		skew += time.Duration(mix(c.seed, c.n.Add(1))%span) - c.jitter
+	}
+	return time.Now().Add(skew)
+}
+
+func (c *skewClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }

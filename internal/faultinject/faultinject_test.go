@@ -1,0 +1,155 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// firePattern records which of the first n calls at a point fire.
+func firePattern(in *Injector, p Point, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		fired, _ := in.Hit(context.Background(), p)
+		out[i] = fired
+	}
+	return out
+}
+
+// TestDeterministicFiring pins the reproducibility contract: two
+// injectors with the same seed and plan fire on exactly the same call
+// indices, and a different seed produces a different pattern.
+func TestDeterministicFiring(t *testing.T) {
+	plan := map[Point]Plan{ServeBatchFlush: {Prob: 0.3}}
+	a := firePattern(New(7, plan), ServeBatchFlush, 500)
+	b := firePattern(New(7, plan), ServeBatchFlush, 500)
+	c := firePattern(New(8, plan), ServeBatchFlush, 500)
+	fires, diff := 0, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	// Prob 0.3 over 500 calls: expect roughly 150 fires; accept a wide
+	// deterministic band (the pattern is fixed, this guards the mixer).
+	if fires < 100 || fires > 200 {
+		t.Fatalf("prob 0.3 fired %d/500 times", fires)
+	}
+	if !diff {
+		t.Fatal("seeds 7 and 8 produced identical patterns")
+	}
+}
+
+func TestEveryAndLimit(t *testing.T) {
+	in := New(1, map[Point]Plan{CoreArtifactLoad: {Every: 3, Limit: 2, Err: errors.New("boom")}})
+	var fires []int
+	for i := 1; i <= 12; i++ {
+		fired, err := in.Hit(context.Background(), CoreArtifactLoad)
+		if fired != (err != nil) {
+			t.Fatalf("call %d: fired=%v err=%v", i, fired, err)
+		}
+		if fired {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 3 || fires[1] != 6 {
+		t.Fatalf("Every=3 Limit=2 fired on calls %v, want [3 6]", fires)
+	}
+	st := in.Stats()[CoreArtifactLoad.String()]
+	if st.Calls != 12 || st.Fires != 2 {
+		t.Fatalf("stats = %+v, want 12 calls 2 fires", st)
+	}
+}
+
+func TestForcedErrorAndCancellationShape(t *testing.T) {
+	in := New(2, map[Point]Plan{ServeReload: {Every: 1, Err: context.Canceled}})
+	fired, err := in.Hit(context.Background(), ServeReload)
+	if !fired || !errors.Is(err, context.Canceled) {
+		t.Fatalf("forced cancellation: fired=%v err=%v", fired, err)
+	}
+}
+
+func TestLatencySleepHonorsContext(t *testing.T) {
+	in := New(3, map[Point]Plan{ServeAdmit: {Every: 1, Latency: time.Minute}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	fired, err := in.Hit(ctx, ServeAdmit)
+	if !fired || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled latency: fired=%v err=%v", fired, err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled sleep did not return promptly")
+	}
+}
+
+func TestDisabledIsInertAndAllocationFree(t *testing.T) {
+	in := Disabled()
+	if in.Enabled() {
+		t.Fatal("disabled injector reports enabled")
+	}
+	for _, p := range Points() {
+		if fired, err := in.Hit(context.Background(), p); fired || err != nil {
+			t.Fatalf("%v: disabled injector fired", p)
+		}
+	}
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, p := range []Point{ServeAdmit, ServeBatchFlush, EngineTaskStart} {
+			if fired, _ := Active().Hit(ctx, p); fired {
+				t.Fatal("active default fired")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hook path allocates %v allocs/op, want 0", allocs)
+	}
+	if _, ok := in.Clock().(realClock); !ok {
+		t.Fatalf("disabled injector clock = %T, want realClock", in.Clock())
+	}
+}
+
+func TestActivateRestore(t *testing.T) {
+	in := New(4, map[Point]Plan{ServeAdmit: {Every: 1, Err: errors.New("x")}})
+	restore := Activate(in)
+	if Active() != in {
+		t.Fatal("Activate did not install")
+	}
+	restore()
+	if Active() != Disabled() {
+		t.Fatal("restore did not reinstate the previous injector")
+	}
+	// Activating nil means "disable".
+	restore = Activate(nil)
+	if Active() != Disabled() {
+		t.Fatal("Activate(nil) did not disable")
+	}
+	restore()
+}
+
+func TestSkewClockDeterministicWobble(t *testing.T) {
+	mk := func() *Injector {
+		return New(9, nil, WithClockSkew(time.Hour, 50*time.Millisecond))
+	}
+	a, b := mk().Clock(), mk().Clock()
+	base := time.Now()
+	for i := 0; i < 64; i++ {
+		sa, sb := a.Since(base), b.Since(base)
+		// Same seed, same reading index: wobble must agree to well under
+		// the jitter span (the only difference is real elapsed time
+		// between the two calls).
+		if d := sa - sb; d < -10*time.Millisecond || d > 10*time.Millisecond {
+			t.Fatalf("reading %d: skew clocks diverged by %v", i, d)
+		}
+		if sa < 59*time.Minute {
+			t.Fatalf("reading %d: offset missing (since = %v)", i, sa)
+		}
+	}
+}

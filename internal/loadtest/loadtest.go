@@ -1,0 +1,433 @@
+// Package loadtest is the chaos/soak harness for the serving stack: it
+// replays a deterministic, seed-derived request schedule (mixed models,
+// malformed payloads, client deadlines, concurrent reloads) against an
+// in-process daemon — optionally with the faultinject layer armed so
+// batch flushes stall past request deadlines, admissions fail, and
+// reloads tear — and checks the serving invariants that must hold under
+// any interleaving:
+//
+//   - every scheduled request gets exactly one terminal response; the
+//     batcher never drops work without shedding it as a 429;
+//   - every 200 bit-matches offline core.Predictor.PredictRowsInto
+//     scoring of the same artifact (Go's JSON float encoding round-trips
+//     float64 exactly, so "bit-match" means ==, not a tolerance);
+//   - malformed payloads map to their exact client-error codes no
+//     matter the load — never a 5xx, never a queue slot;
+//   - the registry generation only moves forward and the model set is
+//     never partial, even while reloads race requests and each other;
+//   - the shed counter equals the number of 429s observed on the wire,
+//     and the final ServeReport is internally consistent.
+//
+// Everything stochastic — request times, burst placement, payload
+// classes, fault firing — derives from Config.Seed, so any failure
+// reproduces from the single seed printed in the report.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"perfpred/internal/dataset"
+	"perfpred/internal/faultinject"
+	"perfpred/internal/obs"
+	"perfpred/internal/serve"
+)
+
+// Config sizes one chaos run.
+type Config struct {
+	// Seed derives the schedule, the fixture models, and (when Faults is
+	// set) every fault-injection decision. Same seed, same run.
+	Seed int64
+	// Duration is the schedule horizon. Default 2s.
+	Duration time.Duration
+	// Requests is the number of predict requests to schedule. Default
+	// scales with Duration (~150/s, minimum 200).
+	Requests int
+	// Workers bounds concurrent in-flight client requests. It must
+	// exceed the schedule's burst size for bursts to actually overflow
+	// the admission queue. Default 64.
+	Workers int
+	// Faults arms the chaos fault plans (stalled batch flushes past the
+	// request deadline, forced admission errors, failing reloads and
+	// artifact loads, a skewed serving clock). When false the same
+	// schedule replays against a clean daemon.
+	Faults bool
+	// RequestTimeout is the daemon's per-request deadline. Default 60ms
+	// with faults armed (so injected flush stalls expire queued
+	// requests), 2s otherwise.
+	RequestTimeout time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Requests <= 0 {
+		c.Requests = int(c.Duration.Seconds() * 150)
+		if c.Requests < 200 {
+			c.Requests = 200
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	if c.RequestTimeout <= 0 {
+		if c.Faults {
+			c.RequestTimeout = 60 * time.Millisecond
+		} else {
+			c.RequestTimeout = 2 * time.Second
+		}
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Injected fault errors. They are deliberately distinct sentinels so a
+// chaos run can tell its own injected failures from organic ones.
+var (
+	errInjectedAdmit    = errors.New("loadtest: injected admission fault")
+	errInjectedReload   = errors.New("loadtest: injected reload fault")
+	errInjectedArtifact = errors.New("loadtest: injected artifact-read fault")
+)
+
+// chaosPlans are the fault plans a Faults run arms. Deterministic Every
+// cadences (not probabilities) guarantee each fault class actually
+// fires within a short run: every 4th batch flush stalls past the
+// request deadline (expiring whatever is queued behind it), admissions
+// sporadically fail outright, every 3rd reload attempt is rejected at
+// the reload point and every 7th artifact read fails (tearing reloads
+// mid-catalog — which the registry must absorb without serving a torn
+// state). The artifact cadence starts beyond the initial three loads so
+// daemon startup always succeeds.
+func chaosPlans(requestTimeout time.Duration) map[faultinject.Point]faultinject.Plan {
+	return map[faultinject.Point]faultinject.Plan{
+		faultinject.ServeBatchFlush:  {Every: 4, Latency: requestTimeout + requestTimeout/2},
+		faultinject.ServeAdmit:       {Prob: 0.04, Err: errInjectedAdmit},
+		faultinject.ServeReload:      {Every: 3, Err: errInjectedReload},
+		faultinject.CoreArtifactLoad: {Every: 7, Err: errInjectedArtifact},
+	}
+}
+
+// outcome is the terminal result of one scheduled event.
+type outcome struct {
+	ev       Event
+	status   int // HTTP status; 0 = no response
+	timedOut bool
+	err      string
+	preds    []float64 // parsed predictions for 200s
+	gen      int64     // reload events: resulting generation
+}
+
+// harness is one run's live state.
+type harness struct {
+	cfg    Config
+	fx     *fixture
+	schema *dataset.Schema
+	srv    *serve.Server
+	base   string
+	client *http.Client
+	sched  *Schedule
+	outs   []outcome
+
+	mu                sync.Mutex
+	gens              []int64
+	catalogViolations []string
+}
+
+// Run executes one chaos/soak run and returns its invariant report.
+// The returned error covers harness failures (cannot train, bind,
+// marshal); invariant violations are reported in Report.Violations so
+// callers can persist the full evidence before failing.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	dir, err := os.MkdirTemp("", "perfpredload-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg.logf("training fixture models (seed %d)", cfg.Seed)
+	fx, err := buildFixture(dir, cfg.Seed, 192)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := synthSchema()
+	if err != nil {
+		return nil, err
+	}
+
+	sched := BuildSchedule(cfg.Seed, cfg.Requests, cfg.Duration, fx.models, len(fx.rows))
+
+	// Arm faults before constructing the daemon: the batcher and server
+	// snapshot the active injector (and its clock) at construction.
+	var inj *faultinject.Injector
+	if cfg.Faults {
+		inj = faultinject.New(cfg.Seed, chaosPlans(cfg.RequestTimeout),
+			faultinject.WithClockSkew(300*time.Millisecond, 500*time.Microsecond))
+		restore := faultinject.Activate(inj)
+		defer restore()
+	}
+
+	srv, err := serve.New(serve.Config{
+		ModelsDir:      dir,
+		RequestTimeout: cfg.RequestTimeout,
+		Batcher: serve.BatcherConfig{
+			QueueDepth: 8,
+			MaxBatch:   8,
+			MaxWait:    200 * time.Microsecond,
+			Workers:    2,
+		},
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: starting daemon: %w", err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv.SetAddr(ln.Addr().String())
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	h := &harness{
+		cfg:    cfg,
+		fx:     fx,
+		schema: schema,
+		srv:    srv,
+		base:   "http://" + ln.Addr().String(),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.Workers * 2,
+			MaxIdleConnsPerHost: cfg.Workers * 2,
+		}},
+		sched: sched,
+		outs:  make([]outcome, len(sched.Events)),
+	}
+
+	cfg.logf("replaying %d events over %v against %s", len(sched.Events), cfg.Duration, h.base)
+	pollDone := make(chan struct{})
+	go h.pollCatalog(pollDone)
+	h.replay()
+	close(pollDone)
+
+	// Graceful shutdown: stop accepting, then drain the batcher — every
+	// admitted request must have been answered by the time Close returns.
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return nil, fmt.Errorf("loadtest: daemon shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return nil, fmt.Errorf("loadtest: daemon serve: %w", err)
+	}
+	srv.Close()
+
+	rep := h.buildReport(srv.Report(), inj, time.Since(start))
+	cfg.logf("run complete: %d violations", len(rep.Violations))
+	return rep, nil
+}
+
+// replay dispatches every scheduled event at its offset, bounded by
+// cfg.Workers concurrent in-flight calls, and waits for all outcomes.
+func (h *harness) replay() {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, h.cfg.Workers)
+	start := time.Now()
+	for i := range h.sched.Events {
+		ev := h.sched.Events[i]
+		if d := time.Until(start.Add(ev.At)); d > 0 {
+			time.Sleep(d)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, ev Event) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if ev.Reload {
+				h.outs[i] = h.runReload(ev)
+			} else {
+				h.outs[i] = h.runPredict(ev)
+			}
+		}(i, ev)
+	}
+	wg.Wait()
+}
+
+// runReload executes one reload event — via the admin endpoint or the
+// direct Server.Reload path the SIGHUP handler uses.
+func (h *harness) runReload(ev Event) outcome {
+	out := outcome{ev: ev}
+	if !ev.AdminHTTP {
+		gen, err := h.srv.Reload()
+		out.gen = gen
+		if err != nil {
+			out.status = http.StatusInternalServerError
+			out.err = err.Error()
+		} else {
+			out.status = http.StatusOK
+		}
+		return out
+	}
+	resp, err := h.client.Post(h.base+"/admin/reload", "application/json", nil)
+	if err != nil {
+		out.err = err.Error()
+		return out
+	}
+	defer resp.Body.Close()
+	out.status = resp.StatusCode
+	if resp.StatusCode == http.StatusOK {
+		var rr serve.ReloadResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			out.err = "decoding reload response: " + err.Error()
+			out.status = 0
+			return out
+		}
+		out.gen = rr.Generation
+	} else {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	}
+	return out
+}
+
+// runPredict executes one predict event and parses its terminal result.
+func (h *harness) runPredict(ev Event) outcome {
+	out := outcome{ev: ev}
+	body, err := json.Marshal(h.requestBody(ev))
+	if err != nil {
+		out.err = "marshal: " + err.Error()
+		return out
+	}
+	ctx := context.Background()
+	if ev.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ev.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		out.err = err.Error()
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			out.timedOut = true
+		}
+		out.err = err.Error()
+		return out
+	}
+	defer resp.Body.Close()
+	out.status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return out
+	}
+	var pr serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		// A response abandoned mid-body by the client deadline is a
+		// client timeout, not a protocol violation.
+		if ev.Timeout > 0 {
+			out.status, out.timedOut, out.err = 0, true, err.Error()
+			return out
+		}
+		out.err = "decoding predict response: " + err.Error()
+		out.status = 0
+		return out
+	}
+	out.preds = pr.Predictions
+	return out
+}
+
+// requestBody builds the wire body for one predict event, applying its
+// payload malformation.
+func (h *harness) requestBody(ev Event) *serve.PredictRequest {
+	rows := make([][]any, len(ev.RowIdxs))
+	for i, idx := range ev.RowIdxs {
+		rows[i] = wireRow(h.schema, h.fx.rows[idx])
+	}
+	switch ev.Payload {
+	case PayloadBadWidth:
+		rows[0] = append(rows[0], 1.0)
+	case PayloadBadType:
+		rows[0][0] = "not-a-number" // schema field 0 is numeric
+	case PayloadUnknownCategory:
+		rows[0][3] = "alien" // schema field 3 is the mapped categorical
+	}
+	req := &serve.PredictRequest{Model: ev.Model}
+	if ev.Single && len(rows) == 1 {
+		req.Row = rows[0]
+	} else {
+		req.Rows = rows
+	}
+	return req
+}
+
+// pollCatalog samples /v1/models until done closes, recording the
+// generation sequence and checking the model set is never partial — a
+// torn catalog (some models missing mid-reload) is an invariant
+// violation no matter when it is observed.
+func (h *harness) pollCatalog(done <-chan struct{}) {
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+		resp, err := h.client.Get(h.base + "/v1/models")
+		if err != nil {
+			continue // transient during shutdown races; replay gating prevents real loss
+		}
+		var mr serve.ModelsResponse
+		err = json.NewDecoder(resp.Body).Decode(&mr)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		names := make([]string, len(mr.Models))
+		for i, m := range mr.Models {
+			names[i] = m.Name
+		}
+		h.mu.Lock()
+		h.gens = append(h.gens, mr.Generation)
+		if !equalStrings(names, h.fx.models) {
+			h.catalogViolations = append(h.catalogViolations,
+				fmt.Sprintf("catalog at generation %d served %v, want %v", mr.Generation, names, h.fx.models))
+		}
+		h.mu.Unlock()
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,199 @@
+package loadtest
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"perfpred/internal/core"
+	"perfpred/internal/engine"
+)
+
+// logf routes harness progress into the test log.
+func logf(t *testing.T) func(string, ...any) {
+	return func(format string, args ...any) { t.Logf(format, args...) }
+}
+
+// failReport dumps the report's violations with the reproducing seed.
+func failReport(t *testing.T, rep *Report) {
+	t.Helper()
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if !rep.OK() {
+		t.Fatalf("chaos run violated %d invariants; reproduce with seed %d (schedule %#x)",
+			len(rep.Violations), rep.Seed, rep.ScheduleHash)
+	}
+}
+
+// TestChaosScenarioSeeded is the acceptance scenario: a seeded chaos
+// run with faults armed must actually trigger shedding, failed (and
+// successful) reloads, and deadline expiries — and still hold every
+// serving invariant, with every 200 bit-matching offline scoring.
+func TestChaosScenarioSeeded(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:     7,
+		Duration: 1200 * time.Millisecond,
+		Faults:   true,
+		Logf:     logf(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failReport(t, rep)
+
+	// The run must have exercised each chaos class, not just survived.
+	if rep.Serve.Shed == 0 {
+		t.Error("chaos run shed nothing: bursts never overflowed the admission queue")
+	}
+	if rep.StatusCounts["504"] == 0 {
+		t.Error("chaos run saw no deadline expiries: flush stalls never outlived the request timeout")
+	}
+	if rep.Reloads.Failed == 0 {
+		t.Error("chaos run had no failed reloads: reload/artifact faults never fired")
+	}
+	if rep.Reloads.OK == 0 {
+		t.Error("chaos run had no successful reloads")
+	}
+	if rep.Serve.FaultsInjected == 0 {
+		t.Error("no faults fired on the serving path")
+	}
+	if rep.BitCompared == 0 {
+		t.Error("no successful predictions were bit-compared against offline scoring")
+	}
+	if rep.BitMismatches != 0 {
+		t.Errorf("%d of %d predictions diverged from offline scoring", rep.BitMismatches, rep.BitCompared)
+	}
+}
+
+// TestCleanRunNoFaults replays a schedule against an unfaulted daemon:
+// no 500s, no injected faults, and still bit-exact responses.
+func TestCleanRunNoFaults(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:     11,
+		Duration: 800 * time.Millisecond,
+		Faults:   false,
+		Logf:     logf(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failReport(t, rep)
+	if rep.Serve.FaultsInjected != 0 {
+		t.Errorf("faults disabled but %d fired", rep.Serve.FaultsInjected)
+	}
+	if n := rep.StatusCounts["500"]; n != 0 {
+		t.Errorf("clean run produced %d server errors", n)
+	}
+	if rep.BitCompared == 0 || rep.BitMismatches != 0 {
+		t.Errorf("bit comparison: %d compared, %d mismatched", rep.BitCompared, rep.BitMismatches)
+	}
+}
+
+// TestScheduleDeterministic pins the reproducibility contract: the same
+// seed yields byte-identical scheduling decisions, a different seed
+// diverges.
+func TestScheduleDeterministic(t *testing.T) {
+	models := []string{"lre", "nns", "treeb"}
+	a := BuildSchedule(7, 300, 2*time.Second, models, 192)
+	b := BuildSchedule(7, 300, 2*time.Second, models, 192)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("same schedule hashed differently")
+	}
+	c := BuildSchedule(8, 300, 2*time.Second, models, 192)
+	if a.Hash() == c.Hash() {
+		t.Fatal("different seeds produced the same schedule hash")
+	}
+	// The schedule must contain every chaos ingredient.
+	var bursts map[time.Duration]int = map[time.Duration]int{}
+	kinds := map[PayloadKind]int{}
+	reloads, timeouts := 0, 0
+	for _, ev := range a.Events {
+		if ev.Reload {
+			reloads++
+			continue
+		}
+		kinds[ev.Payload]++
+		bursts[ev.At]++
+		if ev.Timeout > 0 {
+			timeouts++
+		}
+	}
+	if reloads == 0 || timeouts == 0 {
+		t.Fatalf("schedule missing reloads (%d) or client timeouts (%d)", reloads, timeouts)
+	}
+	for _, k := range []PayloadKind{PayloadOK, PayloadBadWidth, PayloadBadType, PayloadUnknownModel, PayloadUnknownCategory} {
+		if kinds[k] == 0 {
+			t.Errorf("schedule has no %v payloads", k)
+		}
+	}
+	maxBurst := 0
+	for _, n := range bursts {
+		if n > maxBurst {
+			maxBurst = n
+		}
+	}
+	if maxBurst < burstSize {
+		t.Errorf("largest synchronized burst is %d requests, want >= %d", maxBurst, burstSize)
+	}
+}
+
+// TestSameSeedReproduces runs the full harness twice with one seed: the
+// scheduling decisions (and so the schedule hash recorded in the
+// report) must be identical, and both runs must pass.
+func TestSameSeedReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full harness runs")
+	}
+	cfg := Config{Seed: 21, Duration: 700 * time.Millisecond, Requests: 150, Faults: true}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failReport(t, a)
+	failReport(t, b)
+	if a.ScheduleHash != b.ScheduleHash {
+		t.Fatalf("same seed produced different schedules: %#x vs %#x", a.ScheduleHash, b.ScheduleHash)
+	}
+}
+
+// TestGoldenScoringZeroAlloc pins the harness's own comparison path:
+// offline scoring of a served artifact on a worker context — the
+// reference every 200 is bit-compared against — allocates nothing in
+// steady state with faults disabled, proving the fault hooks put no
+// allocations on the kernel path.
+func TestGoldenScoringZeroAlloc(t *testing.T) {
+	dir := t.TempDir()
+	fx, err := buildFixture(dir, 5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx := engine.NewWorkerContext(context.Background())
+	for _, name := range fx.models {
+		p, err := core.LoadPredictorFile(dir + "/" + name + ".json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(fx.rows))
+		// Warm the worker-local scratch, then demand zero allocations.
+		if err := p.PredictRowsInto(wctx, out, fx.rows); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := p.PredictRowsInto(wctx, out, fx.rows); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: steady-state scoring allocates %.1f times per batch, want 0", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"perfpred/internal/faultinject"
+	"perfpred/internal/obs"
+)
+
+// ReportVersion is the chaos report schema version.
+const ReportVersion = 1
+
+// ReloadStats summarizes the run's reload events.
+type ReloadStats struct {
+	Attempted int `json:"attempted"`
+	OK        int `json:"ok"`
+	Failed    int `json:"failed"`
+}
+
+// Report is the invariant report of one chaos/soak run — everything
+// needed to judge the run and to reproduce it (the seed and schedule
+// hash) from the artifact alone.
+type Report struct {
+	Version      int     `json:"version"`
+	Seed         int64   `json:"seed"`
+	Faults       bool    `json:"faults"`
+	ScheduleHash uint64  `json:"schedule_hash"`
+	Events       int     `json:"events"`
+	Requests     int     `json:"requests"`
+	DurationSecs float64 `json:"duration_seconds"`
+
+	// StatusCounts counts terminal HTTP statuses of predict requests,
+	// keyed by code ("200", "429", ...).
+	StatusCounts map[string]int `json:"status_counts"`
+	// ClientTimeouts counts requests abandoned by their own scheduled
+	// client-side deadline (an allowed terminal outcome).
+	ClientTimeouts int `json:"client_timeouts"`
+
+	Reloads ReloadStats `json:"reloads"`
+
+	// BitCompared / BitMismatches count golden comparisons: every
+	// prediction in every 200 is compared for float64 equality against
+	// offline scoring of the same artifact. Any mismatch is a violation.
+	BitCompared   int `json:"bit_compared"`
+	BitMismatches int `json:"bit_mismatches"`
+
+	// GenerationFirst/Last bracket the registry generations the catalog
+	// poller observed; GenerationRegressions counts observations where
+	// the generation moved backwards (must be 0).
+	GenerationFirst       int64 `json:"generation_first"`
+	GenerationLast        int64 `json:"generation_last"`
+	GenerationRegressions int   `json:"generation_regressions"`
+
+	// FaultStats is the injector's per-point call/fire census (empty
+	// when faults are disabled).
+	FaultStats map[string]faultinject.PointStats `json:"fault_stats,omitempty"`
+
+	// Serve is the daemon's own final report.
+	Serve *obs.ServeReport `json:"serve"`
+
+	// Violations lists every invariant breach, capped at maxViolations
+	// entries. An empty list is a passing run.
+	Violations []string `json:"violations"`
+}
+
+// OK reports whether the run held every invariant.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// maxViolations bounds how many violation strings a report carries; a
+// systemic breach would otherwise produce one line per request.
+const maxViolations = 25
+
+type violations struct {
+	list    []string
+	dropped int
+}
+
+func (v *violations) addf(format string, args ...any) {
+	if len(v.list) >= maxViolations {
+		v.dropped++
+		return
+	}
+	v.list = append(v.list, fmt.Sprintf(format, args...))
+}
+
+// buildReport folds the run's outcomes into a Report and checks every
+// invariant.
+func (h *harness) buildReport(sr *obs.ServeReport, inj *faultinject.Injector, elapsed time.Duration) *Report {
+	rep := &Report{
+		Version:      ReportVersion,
+		Seed:         h.cfg.Seed,
+		Faults:       h.cfg.Faults,
+		ScheduleHash: h.sched.Hash(),
+		Events:       len(h.sched.Events),
+		DurationSecs: elapsed.Seconds(),
+		StatusCounts: map[string]int{},
+		Serve:        sr,
+	}
+	if inj != nil {
+		rep.FaultStats = inj.Stats()
+	}
+	var v violations
+
+	predictRows200 := 0
+	admitted := 0
+	for i := range h.outs {
+		out := &h.outs[i]
+		if out.ev.Reload {
+			h.checkReload(rep, &v, out)
+			continue
+		}
+		rep.Requests++
+		h.checkPredict(rep, &v, out, &predictRows200, &admitted)
+	}
+
+	// Catalog invariants from the poller.
+	h.mu.Lock()
+	gens, torn := h.gens, h.catalogViolations
+	h.mu.Unlock()
+	if len(gens) > 0 {
+		rep.GenerationFirst, rep.GenerationLast = gens[0], gens[len(gens)-1]
+		for i := 1; i < len(gens); i++ {
+			if gens[i] < gens[i-1] {
+				rep.GenerationRegressions++
+			}
+		}
+	}
+	if rep.GenerationRegressions > 0 {
+		v.addf("registry generation moved backwards %d time(s)", rep.GenerationRegressions)
+	}
+	for _, t := range torn {
+		v.addf("%s", t)
+	}
+
+	// ServeReport consistency.
+	if err := sr.Validate(); err != nil {
+		v.addf("final serve report invalid: %v", err)
+	}
+	if sr.Generation != 1+int64(rep.Reloads.OK) {
+		v.addf("final generation %d, want 1+%d successful reloads", sr.Generation, rep.Reloads.OK)
+	}
+	// Every shed is a 429 on the wire — but a client that abandoned its
+	// request at its own deadline never reads the 429 it was sent, so
+	// the counter may exceed observed 429s by at most those timeouts.
+	if got := int64(rep.StatusCounts["429"]); sr.Shed < got {
+		v.addf("shed counter %d but %d requests saw 429 — shed without telling the client", sr.Shed, got)
+	} else if sr.Shed > got+int64(rep.ClientTimeouts) {
+		v.addf("shed counter %d exceeds %d observed 429s + %d client timeouts — requests dropped without a 429",
+			sr.Shed, got, rep.ClientTimeouts)
+	}
+	if sr.Predictions < int64(predictRows200) {
+		v.addf("predictions counter %d < %d rows returned in 200s", sr.Predictions, predictRows200)
+	}
+	if sr.Requests < int64(admitted) {
+		v.addf("requests counter %d < %d requests that reached the batcher", sr.Requests, admitted)
+	}
+	if !h.cfg.Faults && sr.FaultsInjected != 0 {
+		v.addf("faults disabled but %d faults fired", sr.FaultsInjected)
+	}
+
+	if v.dropped > 0 {
+		v.list = append(v.list, fmt.Sprintf("... and %d more violations", v.dropped))
+	}
+	rep.Violations = v.list
+	if rep.Violations == nil {
+		rep.Violations = []string{}
+	}
+	return rep
+}
+
+// checkReload folds one reload outcome.
+func (h *harness) checkReload(rep *Report, v *violations, out *outcome) {
+	rep.Reloads.Attempted++
+	switch {
+	case out.status == 200:
+		rep.Reloads.OK++
+	case out.status == 500:
+		rep.Reloads.Failed++
+		if !h.cfg.Faults {
+			v.addf("reload %d failed without faults armed: %s", out.ev.Seq, out.err)
+		}
+	default:
+		v.addf("reload %d: unexpected terminal state status=%d err=%q", out.ev.Seq, out.status, out.err)
+	}
+}
+
+// checkPredict folds one predict outcome, verifying its terminal class
+// against the payload contract and bit-comparing 200s to the goldens.
+func (h *harness) checkPredict(rep *Report, v *violations, out *outcome, rows200, admitted *int) {
+	ev := out.ev
+	if out.status == 0 {
+		if out.timedOut && ev.Timeout > 0 {
+			rep.ClientTimeouts++
+			return
+		}
+		v.addf("request %d (%s %s): no terminal response: %s", ev.Seq, ev.Model, ev.Payload, out.err)
+		return
+	}
+	rep.StatusCounts[strconv.Itoa(out.status)]++
+	switch out.status {
+	case 200, 429, 503, 504, 500:
+		*admitted++
+	}
+
+	want, exact := expectedStatus(ev.Payload)
+	if exact {
+		if out.status != want {
+			v.addf("request %d: %s payload answered %d, want exactly %d", ev.Seq, ev.Payload, out.status, want)
+		}
+		return
+	}
+	switch out.status {
+	case 200:
+	case 429, 503, 504:
+		return
+	case 500:
+		if !h.cfg.Faults {
+			v.addf("request %d: 500 without faults armed", ev.Seq)
+		}
+		return
+	default:
+		v.addf("request %d: unexpected status %d for ok payload", ev.Seq, out.status)
+		return
+	}
+
+	// 200: every prediction must bit-match offline scoring.
+	golden := h.fx.golden[ev.Model]
+	if len(out.preds) != len(ev.RowIdxs) {
+		v.addf("request %d: 200 carried %d predictions for %d rows", ev.Seq, len(out.preds), len(ev.RowIdxs))
+		return
+	}
+	*rows200 += len(out.preds)
+	for j, idx := range ev.RowIdxs {
+		rep.BitCompared++
+		if out.preds[j] != golden[idx] {
+			rep.BitMismatches++
+			v.addf("request %d: model %s row %d predicted %v, offline golden %v",
+				ev.Seq, ev.Model, idx, out.preds[j], golden[idx])
+		}
+	}
+}
+
+// expectedStatus returns the exact status a malformed payload must map
+// to; exact=false means the payload is well-formed and load-dependent
+// outcomes apply.
+func expectedStatus(p PayloadKind) (status int, exact bool) {
+	switch p {
+	case PayloadBadWidth, PayloadBadType, PayloadUnknownCategory:
+		return 400, true
+	case PayloadUnknownModel:
+		return 404, true
+	}
+	return 0, false
+}

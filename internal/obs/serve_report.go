@@ -31,6 +31,10 @@ const (
 	MetricServeErrors = "serve.errors"
 	// MetricServeReloads counts successful registry reloads.
 	MetricServeReloads = "serve.reloads"
+	// MetricServeFaults counts injected faults that fired on the serving
+	// path (admission, batch flush, reload) — always 0 outside chaos
+	// runs, where the faultinject layer stays disabled.
+	MetricServeFaults = "serve.faults_injected"
 	// MetricServeBatchSize observes the row count of each executed batch.
 	MetricServeBatchSize = "serve.batch_size"
 	// MetricServeQueueWait observes seconds a request sat in the
@@ -91,6 +95,10 @@ type ServeReport struct {
 	Shed        int64 `json:"shed"`
 	Errors      int64 `json:"errors"`
 	Reloads     int64 `json:"reloads"`
+	// FaultsInjected counts injected faults that fired on the serving
+	// path during a chaos run (0 in production, where injection is
+	// disabled).
+	FaultsInjected int64 `json:"faults_injected"`
 
 	// BatchSize, QueueWaitSeconds, LatencySeconds and KernelSeconds
 	// summarize the timing histograms.
@@ -122,6 +130,7 @@ func BuildServeReport(meta ServeMeta, reg *Registry) *ServeReport {
 		r.Shed = snap.Counters[MetricServeShed]
 		r.Errors = snap.Counters[MetricServeErrors]
 		r.Reloads = snap.Counters[MetricServeReloads]
+		r.FaultsInjected = snap.Counters[MetricServeFaults]
 		r.BatchSize = snap.Histograms[MetricServeBatchSize]
 		r.QueueWaitSeconds = snap.Histograms[MetricServeQueueWait]
 		r.LatencySeconds = snap.Histograms[MetricServeLatency]
@@ -143,6 +152,7 @@ func (r *ServeReport) Validate() error {
 	for name, v := range map[string]int64{
 		"requests": r.Requests, "predictions": r.Predictions, "batches": r.Batches,
 		"shed": r.Shed, "errors": r.Errors, "reloads": r.Reloads, "generation": r.Generation,
+		"faults_injected": r.FaultsInjected,
 	} {
 		if v < 0 {
 			return fmt.Errorf("obs: serve report %s is negative", name)

@@ -15,6 +15,7 @@ func TestBuildServeReport(t *testing.T) {
 	reg.Counter(MetricServeShed).Add(2)
 	reg.Counter(MetricServeErrors).Inc()
 	reg.Counter(MetricServeReloads).Inc()
+	reg.Counter(MetricServeFaults).Add(3)
 	for _, v := range []float64{1, 8, 16} {
 		reg.Histogram(MetricServeBatchSize).Observe(v)
 	}
@@ -35,6 +36,9 @@ func TestBuildServeReport(t *testing.T) {
 	if rep.Requests != 10 || rep.Predictions != 25 || rep.Batches != 4 || rep.Shed != 2 || rep.Errors != 1 || rep.Reloads != 1 {
 		t.Fatalf("counters wrong: %+v", rep)
 	}
+	if rep.FaultsInjected != 3 {
+		t.Fatalf("faults counter wrong: %+v", rep)
+	}
 	if rep.BatchSize.Count != 3 || rep.BatchSize.Max != 16 {
 		t.Fatalf("batch-size histogram wrong: %+v", rep.BatchSize)
 	}
@@ -54,7 +58,7 @@ func TestBuildServeReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Requests != rep.Requests || back.LatencySeconds.Count != 1 {
+	if back.Requests != rep.Requests || back.LatencySeconds.Count != 1 || back.FaultsInjected != 3 {
 		t.Fatalf("round trip lost data: %+v", back)
 	}
 }

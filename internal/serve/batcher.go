@@ -10,6 +10,7 @@ import (
 
 	"perfpred/internal/dataset"
 	"perfpred/internal/engine"
+	"perfpred/internal/faultinject"
 )
 
 // ErrOverloaded is returned (and mapped to 429 + Retry-After) when the
@@ -84,17 +85,27 @@ type Batcher struct {
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	draining atomic.Bool
+	// fi and clock are snapshotted from the process-global fault
+	// injector at construction: the production no-op makes every hook a
+	// single branch and clock a plain time.Now, so the hot path gains no
+	// allocations or locks. Chaos harnesses activate an injector before
+	// building the daemon to arm them.
+	fi    *faultinject.Injector
+	clock faultinject.Clock
 }
 
 // newBatcher starts cfg.Workers batch executors.
 func newBatcher(cfg BatcherConfig, met *metrics, score scoreFunc) *Batcher {
 	cfg = cfg.withDefaults()
+	fi := faultinject.Active()
 	b := &Batcher{
 		cfg:   cfg,
 		score: score,
 		met:   met,
 		queue: make(chan *request, cfg.QueueDepth),
 		stop:  make(chan struct{}),
+		fi:    fi,
+		clock: fi.Clock(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		b.wg.Add(1)
@@ -111,6 +122,15 @@ func (b *Batcher) Predict(ctx context.Context, m *Model, rows [][]dataset.Value)
 	if b.draining.Load() {
 		return nil, ErrDraining
 	}
+	// Admission fault point: injected latency stalls the caller here (so
+	// its deadline can expire before the request ever takes a queue
+	// slot), a forced error rejects the request outright.
+	if fired, err := b.fi.Hit(ctx, faultinject.ServeAdmit); fired {
+		b.met.faults.Inc()
+		if err != nil {
+			return nil, err
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -120,7 +140,7 @@ func (b *Batcher) Predict(ctx context.Context, m *Model, rows [][]dataset.Value)
 		rows:      rows,
 		out:       make([]float64, len(rows)),
 		done:      make(chan error, 1),
-		submitted: time.Now(),
+		submitted: b.clock.Now(),
 	}
 	select {
 	case b.queue <- req:
@@ -246,7 +266,7 @@ gather:
 // than one request, each request is rescored alone so one bad row only
 // fails its own request.
 func (b *Batcher) scoreGroup(wctx context.Context, ws *workerScratch, m *Model, group []*request) {
-	now := time.Now()
+	now := b.clock.Now()
 	live := ws.live[:0]
 	rows := ws.rows[:0]
 	for _, req := range group {
@@ -271,9 +291,20 @@ func (b *Batcher) scoreGroup(wctx context.Context, ws *workerScratch, m *Model, 
 	}
 	out := ws.out[:len(rows)]
 
-	kstart := time.Now()
-	err := b.score(wctx, m, rows, out)
-	b.met.kernel.Observe(time.Since(kstart).Seconds())
+	// Flush fault point: injected latency slows the kernel flush (queue
+	// pressure builds until admission sheds), a forced error fails the
+	// combined batch — which, for multi-request batches, exercises the
+	// per-request rescore path below.
+	kstart := b.clock.Now()
+	var err error
+	if fired, ferr := b.fi.Hit(wctx, faultinject.ServeBatchFlush); fired {
+		b.met.faults.Inc()
+		err = ferr
+	}
+	if err == nil {
+		err = b.score(wctx, m, rows, out)
+	}
+	b.met.kernel.Observe(b.clock.Since(kstart).Seconds())
 	b.met.batches.Inc()
 	b.met.batchSize.Observe(float64(len(rows)))
 

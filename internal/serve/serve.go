@@ -44,6 +44,7 @@ type metrics struct {
 	shed        *obs.Counter
 	errors      *obs.Counter
 	reloads     *obs.Counter
+	faults      *obs.Counter
 	batchSize   *obs.Histogram
 	queueWait   *obs.Histogram
 	latency     *obs.Histogram
@@ -63,6 +64,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		shed:        reg.Counter(obs.MetricServeShed),
 		errors:      reg.Counter(obs.MetricServeErrors),
 		reloads:     reg.Counter(obs.MetricServeReloads),
+		faults:      reg.Counter(obs.MetricServeFaults),
 		batchSize:   reg.Histogram(obs.MetricServeBatchSize),
 		queueWait:   reg.Histogram(obs.MetricServeQueueWait),
 		latency:     reg.Histogram(obs.MetricServeLatency),

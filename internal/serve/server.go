@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"perfpred/internal/dataset"
+	"perfpred/internal/faultinject"
 	"perfpred/internal/obs"
 )
 
@@ -38,6 +39,10 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 	addr    atomic.Value // string; bound listen address, set by the daemon
+	// fi and clock come from the fault injector active at construction
+	// (the no-op singleton in production — see Batcher).
+	fi    *faultinject.Injector
+	clock faultinject.Clock
 }
 
 // New loads the model directory and starts the batch workers. The
@@ -51,12 +56,15 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	fi := faultinject.Active()
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		met:     newMetrics(cfg.Metrics),
-		started: time.Now(),
+		cfg:   cfg,
+		reg:   reg,
+		met:   newMetrics(cfg.Metrics),
+		fi:    fi,
+		clock: fi.Clock(),
 	}
+	s.started = s.clock.Now()
 	s.bat = newBatcher(cfg.Batcher, s.met, scoreModel)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
@@ -98,8 +106,18 @@ func (s *Server) SetAddr(addr string) { s.addr.Store(addr) }
 func (s *Server) Close() { s.bat.Close() }
 
 // Reload atomically swaps in a fresh catalog from the model directory,
-// counting successful reloads.
+// counting successful reloads. The reload fault point (plus artifact-
+// load faults inside the registry's per-file loader) lets chaos runs
+// fail reloads at will; either way a failed reload must leave the
+// previous catalog serving, which the registry guarantees by swapping
+// only a fully-built catalog.
 func (s *Server) Reload() (int64, error) {
+	if fired, err := s.fi.Hit(context.Background(), faultinject.ServeReload); fired {
+		s.met.faults.Inc()
+		if err != nil {
+			return 0, err
+		}
+	}
 	gen, err := s.reg.Reload()
 	if err == nil {
 		s.met.reloads.Inc()
@@ -115,13 +133,13 @@ func (s *Server) Report() *obs.ServeReport {
 		ModelsDir:  s.reg.Dir(),
 		Models:     s.reg.Names(),
 		Generation: s.reg.Generation(),
-		Uptime:     time.Since(s.started),
+		Uptime:     max(s.clock.Since(s.started), 0), // a skewed chaos clock may run backwards
 	}, s.met.reg)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	defer func() { s.met.latency.Observe(time.Since(start).Seconds()) }()
+	start := s.clock.Now()
+	defer func() { s.met.latency.Observe(s.clock.Since(start).Seconds()) }()
 
 	req, err := DecodePredictRequest(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
@@ -135,6 +153,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	rows, err := req.Resolve(m.Pred.Encoder().Schema())
 	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Full request validation happens before the batcher ever sees the
+	// request: CheckRows covers everything the encode stage could reject
+	// (row width vs the model's fitted schema and input width, unmapped
+	// categories for numeric-coded models), so a bad row is a 400 here
+	// instead of occupying a queue slot and surfacing later as a scoring
+	// failure.
+	if err := m.Pred.CheckRows(rows); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -167,9 +195,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 // writePredictError maps batcher/scoring failures onto HTTP statuses:
-// shed → 429 with Retry-After, drain → 503, deadline → 504, anything
-// else (encoding failures on otherwise well-typed rows, e.g. an unknown
-// category for an LR model) → 400.
+// shed → 429 with Retry-After, drain → 503, deadline → 504. Anything
+// else is a genuine server-side failure (client-caused errors are all
+// rejected with 400s before admission by CheckRows) and reports 500 —
+// injected batch-flush faults in chaos runs land here.
 func (s *Server) writePredictError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
@@ -180,7 +209,7 @@ func (s *Server) writePredictError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: request deadline exceeded"))
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusInternalServerError, err)
 	}
 }
 

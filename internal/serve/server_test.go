@@ -325,3 +325,59 @@ func TestServerHealthz(t *testing.T) {
 		t.Fatalf("/healthz: %d %s", w.Code, w.Body)
 	}
 }
+
+// TestServerPreEnqueueValidation pins the client-error/server-error
+// boundary: rows that cannot be scored against a *known* model — wrong
+// width for the fitted schema, categories with no numeric mapping — are
+// rejected with 400 by CheckRows before admission. The serve.requests
+// counter only moves after validation, so an unchanged counter proves
+// the bad request never occupied a queue slot or reached a kernel.
+func TestServerPreEnqueueValidation(t *testing.T) {
+	s, d, _ := newTestServer(t)
+	h := s.Handler()
+	good := rowJSON(d, 0)
+	wide := append(append([]any{}, good...), 1.0)
+	alien := append([]any{}, good...)
+	alien[3] = "alien" // categorical field with NumericLevels {weak, strong}
+
+	cases := []struct {
+		name string
+		body any
+		want string
+	}{
+		{"single row too wide", map[string]any{"model": "nns", "row": wide}, "5 values"},
+		{"batch row too wide", map[string]any{"model": "nns", "rows": [][]any{good, wide}}, "row 1"},
+		{"unmapped category on LR model", map[string]any{"model": "lre", "row": alien}, "no numeric mapping"},
+		{"unmapped category in batch", map[string]any{"model": "lre", "rows": [][]any{alien, good}}, "no numeric mapping"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := s.met.requests.Value()
+			w := postPredict(t, h, tc.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("code = %d, want 400 (%s)", w.Code, w.Body)
+			}
+			var e ErrorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+				t.Fatalf("non-JSON error body: %s", w.Body)
+			}
+			if !strings.Contains(e.Error, tc.want) {
+				t.Errorf("error %q does not contain %q", e.Error, tc.want)
+			}
+			if after := s.met.requests.Value(); after != before {
+				t.Errorf("requests counter moved %d -> %d: invalid request was admitted", before, after)
+			}
+			if errs := s.met.errors.Value(); errs != 0 {
+				t.Errorf("errors counter = %d: validation failure reached the scoring path", errs)
+			}
+		})
+	}
+
+	// The same category IS valid for the one-hot NN encoder (an unseen
+	// category encodes as all-zero indicators), so the 400 above must be
+	// the LR mapping check, not a blanket category whitelist.
+	w := postPredict(t, h, map[string]any{"model": "nns", "row": alien})
+	if w.Code != http.StatusOK {
+		t.Fatalf("unseen category on one-hot model = %d, want 200 (%s)", w.Code, w.Body)
+	}
+}

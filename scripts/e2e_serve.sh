@@ -42,6 +42,15 @@ say "start perfpredd"
 dpid=$!
 for _ in $(seq 1 100); do
   [ -s addr ] && break
+  # Fail fast if the daemon already died (bad flags, unloadable models):
+  # without this check a startup crash burns the full 10s timeout and
+  # reports the misleading "never wrote addr file".
+  if ! kill -0 "$dpid" 2>/dev/null; then
+    wait "$dpid" || true
+    dpid=""
+    echo "daemon exited before writing the addr file" >&2
+    exit 1
+  fi
   sleep 0.1
 done
 [ -s addr ] || { echo "daemon never wrote addr file" >&2; exit 1; }
