@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-figures e2e chaos coverage
+.PHONY: check build test race vet bench bench-serve bench-figures e2e chaos coverage
 
 check: build vet test race
 
@@ -32,17 +32,29 @@ bench:
 	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_6.json < bench.out.tmp
 	@rm -f bench.out.tmp
 
+# Serving-cache benchmarks → BENCH_8.json: cached (hot-row, 0 allocs)
+# vs uncached single-row prediction through the full serving path. No
+# baseline file — the uncached bench in the same snapshot IS the
+# baseline the cache's latency win is judged against.
+bench-serve:
+	$(GO) test -run xxx -bench 'CachedPredict|UncachedPredict' -benchmem -count=2 ./internal/serve > bench.out.tmp
+	$(GO) run ./cmd/benchjson -o BENCH_8.json < bench.out.tmp
+	@rm -f bench.out.tmp
+
 # End-to-end smoke of the serving daemon: train → serve → curl → drain,
 # asserting daemon predictions are bit-identical to offline scoring.
 e2e:
 	./scripts/e2e_serve.sh
 
-# Chaos/soak run against an in-process daemon with fault injection
-# armed: deterministic seed-derived schedule, every 200 bit-compared to
-# offline scoring, invariant report written to chaos-report.json. Any
-# failure reproduces from the printed seed.
+# Chaos/soak run against an in-process daemon with fault injection AND
+# the prediction cache armed: deterministic seed-derived schedule with a
+# duplicate-heavy hot-row class, every 200 bit-compared to offline
+# scoring, cache accounting checked post-drain, and a generation-
+# boundary epilogue proving no cache hit survives a reload. Invariant
+# report written to chaos-report.json; any failure reproduces from the
+# printed seed.
 chaos:
-	$(GO) run ./cmd/perfpredload -seed 7 -duration 30s -report chaos-report.json
+	$(GO) run ./cmd/perfpredload -seed 7 -duration 30s -cache-entries 2048 -report chaos-report.json
 
 # Coverage summary for the core and serving packages (same profile the
 # CI coverage job uploads as an artifact).

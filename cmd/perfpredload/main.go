@@ -30,6 +30,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "max concurrent in-flight client requests (0 = default)")
 		timeout  = flag.Duration("timeout", 0, "daemon per-request deadline (0 = default)")
 		faults   = flag.Bool("faults", true, "arm the chaos fault plans")
+		cache    = flag.Int("cache-entries", 0, "arm the daemon's prediction cache with this capacity (0 = off); adds the generation-boundary epilogue")
 		report   = flag.String("report", "", "write the invariant report JSON to this path")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
@@ -42,6 +43,7 @@ func main() {
 		Workers:        *workers,
 		RequestTimeout: *timeout,
 		Faults:         *faults,
+		CacheEntries:   *cache,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
@@ -64,6 +66,11 @@ func main() {
 	fmt.Printf("seed %d  schedule %#x  events %d  statuses %v  timeouts %d  shed %d  reloads %d/%d ok  faults %d  bit-compared %d\n",
 		rep.Seed, rep.ScheduleHash, rep.Events, rep.StatusCounts, rep.ClientTimeouts,
 		rep.Serve.Shed, rep.Reloads.OK, rep.Reloads.Attempted, rep.Serve.FaultsInjected, rep.BitCompared)
+	if rep.CacheEntries > 0 {
+		cs := rep.Serve.Cache
+		fmt.Printf("cache %d entries  lookups %d  hits %d  misses %d  coalesced %d  evictions %d  invalidations %d  epilogue %+v\n",
+			rep.CacheEntries, cs.Lookups, cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions, cs.Invalidations, rep.Epilogue)
+	}
 	if !rep.OK() {
 		fmt.Printf("FAIL: %d invariant violations (reproduce with -seed %d):\n", len(rep.Violations), rep.Seed)
 		for _, v := range rep.Violations {

@@ -55,6 +55,12 @@ const (
 	// ServeReload fires at the top of Server.Reload: a forced error fails
 	// the reload, which must leave the previous catalog serving.
 	ServeReload
+	// ServeCacheLookup fires in the prediction-cache path before a
+	// request's rows are probed: latency delays the lookup (widening the
+	// window for eviction races and reload-during-fill), a forced error
+	// makes the request bypass the cache entirely — the fail-open path,
+	// which must stay bit-identical to cached serving.
+	ServeCacheLookup
 	numPoints
 )
 
@@ -73,6 +79,8 @@ func (p Point) String() string {
 		return "serve.batch_flush"
 	case ServeReload:
 		return "serve.reload"
+	case ServeCacheLookup:
+		return "serve.cache_lookup"
 	default:
 		return fmt.Sprintf("Point(%d)", int(p))
 	}

@@ -65,6 +65,16 @@ type Config struct {
 	// with faults armed (so injected flush stalls expire queued
 	// requests), 2s otherwise.
 	RequestTimeout time.Duration
+	// CacheEntries arms the daemon's sharded prediction cache with the
+	// given capacity (0 leaves it off — the production default). A
+	// cache-armed run additionally checks the cache accounting
+	// invariants (hits + misses == lookups, coalesced ≤ misses, a
+	// duplicate-heavy schedule must actually hit) and finishes with a
+	// generation-boundary epilogue: retrain one model, swap its
+	// artifact, reload, and re-probe the hot rows against goldens scored
+	// from the new artifact — a cache hit crossing the reload boundary
+	// cannot survive it.
+	CacheEntries int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -115,12 +125,19 @@ var (
 // mid-catalog — which the registry must absorb without serving a torn
 // state). The artifact cadence starts beyond the initial three loads so
 // daemon startup always succeeds.
+//
+// The cache-lookup plan is latency-only: every 6th lookup stalls for a
+// few batch lifetimes, widening the window for evictions and reloads to
+// race rows already probed — the cache must absorb the stall without
+// changing a single bit. (Forced *errors* at that point take the
+// fail-open bypass and are pinned by the serve tests instead.)
 func chaosPlans(requestTimeout time.Duration) map[faultinject.Point]faultinject.Plan {
 	return map[faultinject.Point]faultinject.Plan{
 		faultinject.ServeBatchFlush:  {Every: 4, Latency: requestTimeout + requestTimeout/2},
 		faultinject.ServeAdmit:       {Prob: 0.04, Err: errInjectedAdmit},
 		faultinject.ServeReload:      {Every: 3, Err: errInjectedReload},
 		faultinject.CoreArtifactLoad: {Every: 7, Err: errInjectedArtifact},
+		faultinject.ServeCacheLookup: {Every: 6, Latency: 3 * time.Millisecond},
 	}
 }
 
@@ -148,6 +165,11 @@ type harness struct {
 	mu                sync.Mutex
 	gens              []int64
 	catalogViolations []string
+
+	// epi and epiViolations record the cache generation-boundary
+	// epilogue (nil / empty when CacheEntries == 0).
+	epi           *EpilogueStats
+	epiViolations []string
 }
 
 // Run executes one chaos/soak run and returns its invariant report.
@@ -195,7 +217,8 @@ func Run(cfg Config) (*Report, error) {
 			MaxWait:    200 * time.Microsecond,
 			Workers:    2,
 		},
-		Metrics: obs.NewRegistry(),
+		CacheEntries: cfg.CacheEntries,
+		Metrics:      obs.NewRegistry(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("loadtest: starting daemon: %w", err)
@@ -229,6 +252,15 @@ func Run(cfg Config) (*Report, error) {
 	go h.pollCatalog(pollDone)
 	h.replay()
 	close(pollDone)
+
+	// Cache-armed runs end with the generation-boundary epilogue while
+	// the daemon (and the fault injector) is still live: probe warm hot
+	// rows, retrain-swap-reload one model, probe again against the new
+	// artifact's goldens.
+	if cfg.CacheEntries > 0 {
+		cfg.logf("running generation-boundary epilogue")
+		h.runEpilogue()
+	}
 
 	// Graceful shutdown: stop accepting, then drain the batcher — every
 	// admitted request must have been answered by the time Close returns.

@@ -8,6 +8,7 @@ import (
 
 	"perfpred/internal/core"
 	"perfpred/internal/engine"
+	"perfpred/internal/faultinject"
 )
 
 // logf routes harness progress into the test log.
@@ -28,15 +29,18 @@ func failReport(t *testing.T, rep *Report) {
 }
 
 // TestChaosScenarioSeeded is the acceptance scenario: a seeded chaos
-// run with faults armed must actually trigger shedding, failed (and
-// successful) reloads, and deadline expiries — and still hold every
-// serving invariant, with every 200 bit-matching offline scoring.
+// run with faults AND the prediction cache armed must actually trigger
+// shedding, failed (and successful) reloads, deadline expiries, cache
+// hits and stalled cache lookups — and still hold every serving
+// invariant, with every 200 bit-matching offline scoring and the
+// generation-boundary epilogue proving no hit survives a reload.
 func TestChaosScenarioSeeded(t *testing.T) {
 	rep, err := Run(Config{
-		Seed:     7,
-		Duration: 1200 * time.Millisecond,
-		Faults:   true,
-		Logf:     logf(t),
+		Seed:         7,
+		Duration:     1200 * time.Millisecond,
+		Faults:       true,
+		CacheEntries: 2048,
+		Logf:         logf(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -65,16 +69,27 @@ func TestChaosScenarioSeeded(t *testing.T) {
 	if rep.BitMismatches != 0 {
 		t.Errorf("%d of %d predictions diverged from offline scoring", rep.BitMismatches, rep.BitCompared)
 	}
+	if rep.Serve.Cache.Hits == 0 {
+		t.Error("cache-armed chaos run recorded no hits: the duplicate class never landed")
+	}
+	if fs := rep.FaultStats[faultinject.ServeCacheLookup.String()]; fs.Fires == 0 {
+		t.Error("cache-lookup latency fault never fired")
+	}
+	if rep.Epilogue == nil || rep.Epilogue.ReloadsOK == 0 {
+		t.Errorf("generation-boundary epilogue did not complete: %+v", rep.Epilogue)
+	}
 }
 
-// TestCleanRunNoFaults replays a schedule against an unfaulted daemon:
-// no 500s, no injected faults, and still bit-exact responses.
+// TestCleanRunNoFaults replays a schedule against an unfaulted daemon
+// with the cache armed: no 500s, no injected faults, and still
+// bit-exact responses — with real cache hits behind them.
 func TestCleanRunNoFaults(t *testing.T) {
 	rep, err := Run(Config{
-		Seed:     11,
-		Duration: 800 * time.Millisecond,
-		Faults:   false,
-		Logf:     logf(t),
+		Seed:         11,
+		Duration:     800 * time.Millisecond,
+		Faults:       false,
+		CacheEntries: 2048,
+		Logf:         logf(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -88,6 +103,9 @@ func TestCleanRunNoFaults(t *testing.T) {
 	}
 	if rep.BitCompared == 0 || rep.BitMismatches != 0 {
 		t.Errorf("bit comparison: %d compared, %d mismatched", rep.BitCompared, rep.BitMismatches)
+	}
+	if rep.Serve.Cache.Hits == 0 {
+		t.Error("cache-armed clean run recorded no hits")
 	}
 }
 
@@ -111,7 +129,7 @@ func TestScheduleDeterministic(t *testing.T) {
 	// The schedule must contain every chaos ingredient.
 	var bursts map[time.Duration]int = map[time.Duration]int{}
 	kinds := map[PayloadKind]int{}
-	reloads, timeouts := 0, 0
+	reloads, timeouts, hot := 0, 0, 0
 	for _, ev := range a.Events {
 		if ev.Reload {
 			reloads++
@@ -122,9 +140,20 @@ func TestScheduleDeterministic(t *testing.T) {
 		if ev.Timeout > 0 {
 			timeouts++
 		}
+		if ev.Hot {
+			hot++
+			for _, idx := range ev.RowIdxs {
+				if idx >= hotPoolSize {
+					t.Errorf("hot request %d drew row %d outside the hot pool (size %d)", ev.Seq, idx, hotPoolSize)
+				}
+			}
+		}
 	}
 	if reloads == 0 || timeouts == 0 {
 		t.Fatalf("schedule missing reloads (%d) or client timeouts (%d)", reloads, timeouts)
+	}
+	if hot == 0 {
+		t.Error("schedule has no duplicate-class (hot) requests")
 	}
 	for _, k := range []PayloadKind{PayloadOK, PayloadBadWidth, PayloadBadType, PayloadUnknownModel, PayloadUnknownCategory} {
 		if kinds[k] == 0 {

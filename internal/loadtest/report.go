@@ -28,6 +28,7 @@ type Report struct {
 	Version      int     `json:"version"`
 	Seed         int64   `json:"seed"`
 	Faults       bool    `json:"faults"`
+	CacheEntries int     `json:"cache_entries"`
 	ScheduleHash uint64  `json:"schedule_hash"`
 	Events       int     `json:"events"`
 	Requests     int     `json:"requests"`
@@ -61,6 +62,10 @@ type Report struct {
 
 	// Serve is the daemon's own final report.
 	Serve *obs.ServeReport `json:"serve"`
+
+	// Epilogue records the generation-boundary epilogue of a cache-armed
+	// run (nil when CacheEntries == 0).
+	Epilogue *EpilogueStats `json:"generation_epilogue,omitempty"`
 
 	// Violations lists every invariant breach, capped at maxViolations
 	// entries. An empty list is a passing run.
@@ -103,6 +108,8 @@ func (h *harness) buildReport(sr *obs.ServeReport, inj *faultinject.Injector, el
 		Version:      ReportVersion,
 		Seed:         h.cfg.Seed,
 		Faults:       h.cfg.Faults,
+		CacheEntries: h.cfg.CacheEntries,
+		Epilogue:     h.epi,
 		ScheduleHash: h.sched.Hash(),
 		Events:       len(h.sched.Events),
 		DurationSecs: elapsed.Seconds(),
@@ -144,31 +151,69 @@ func (h *harness) buildReport(sr *obs.ServeReport, inj *faultinject.Injector, el
 	for _, t := range torn {
 		v.addf("%s", t)
 	}
+	for _, s := range h.epiViolations {
+		v.addf("%s", s)
+	}
 
 	// ServeReport consistency.
 	if err := sr.Validate(); err != nil {
 		v.addf("final serve report invalid: %v", err)
 	}
-	if sr.Generation != 1+int64(rep.Reloads.OK) {
-		v.addf("final generation %d, want 1+%d successful reloads", sr.Generation, rep.Reloads.OK)
+	wantGen := 1 + int64(rep.Reloads.OK)
+	if h.epi != nil {
+		wantGen += int64(h.epi.ReloadsOK)
+	}
+	if sr.Generation != wantGen {
+		v.addf("final generation %d, want %d (1 + successful reloads)", sr.Generation, wantGen)
 	}
 	// Every shed is a 429 on the wire — but a client that abandoned its
 	// request at its own deadline never reads the 429 it was sent, so
 	// the counter may exceed observed 429s by at most those timeouts.
-	if got := int64(rep.StatusCounts["429"]); sr.Shed < got {
+	// Epilogue probes observe (and retry) their own 429s.
+	got := int64(rep.StatusCounts["429"])
+	if h.epi != nil {
+		got += int64(h.epi.Observed429s)
+	}
+	if sr.Shed < got {
 		v.addf("shed counter %d but %d requests saw 429 — shed without telling the client", sr.Shed, got)
 	} else if sr.Shed > got+int64(rep.ClientTimeouts) {
 		v.addf("shed counter %d exceeds %d observed 429s + %d client timeouts — requests dropped without a 429",
 			sr.Shed, got, rep.ClientTimeouts)
 	}
-	if sr.Predictions < int64(predictRows200) {
-		v.addf("predictions counter %d < %d rows returned in 200s", sr.Predictions, predictRows200)
+	// Every row returned in a 200 was either scored by the batcher
+	// (predictions), served from the cache (hits), or rode a leader's
+	// scoring of the same row (coalesced). With the cache off the last
+	// two terms are zero and this collapses to the original bound.
+	if served := sr.Predictions + sr.Cache.Hits + sr.Cache.Coalesced; served < int64(predictRows200) {
+		v.addf("predictions(%d)+cache hits(%d)+coalesced(%d) = %d < %d rows returned in 200s",
+			sr.Predictions, sr.Cache.Hits, sr.Cache.Coalesced, served, predictRows200)
 	}
 	if sr.Requests < int64(admitted) {
 		v.addf("requests counter %d < %d requests that reached the batcher", sr.Requests, admitted)
 	}
 	if !h.cfg.Faults && sr.FaultsInjected != 0 {
 		v.addf("faults disabled but %d faults fired", sr.FaultsInjected)
+	}
+
+	// Cache accounting. Post-drain, every lookup has resolved as exactly
+	// one hit or miss and coalesced waits are a sub-count of misses; a
+	// duplicate-heavy schedule against an armed cache must actually hit.
+	// With the cache off, its counters must never move at all.
+	cs := sr.Cache
+	if h.cfg.CacheEntries > 0 {
+		if cs.Hits+cs.Misses != cs.Lookups {
+			v.addf("cache hits(%d)+misses(%d) != lookups(%d)", cs.Hits, cs.Misses, cs.Lookups)
+		}
+		if cs.Coalesced > cs.Misses {
+			v.addf("cache coalesced %d exceeds misses %d", cs.Coalesced, cs.Misses)
+		}
+		if cs.Lookups == 0 {
+			v.addf("cache armed (%d entries) but no lookup ever reached it", h.cfg.CacheEntries)
+		} else if cs.Hits == 0 {
+			v.addf("duplicate-heavy schedule recorded zero cache hits over %d lookups", cs.Lookups)
+		}
+	} else if cs != (obs.CacheStats{}) {
+		v.addf("cache disabled but its counters moved: %+v", cs)
 	}
 
 	if v.dropped > 0 {

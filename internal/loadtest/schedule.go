@@ -71,6 +71,12 @@ type Event struct {
 	// the batch "rows" form, len==1 with Single set uses "row".
 	RowIdxs []int
 	Single  bool
+	// Hot marks a duplicate-class request: its rows are drawn only from
+	// the small hot prefix of the eval set, so identical design points
+	// recur constantly across concurrent requests — the traffic shape
+	// that makes a prediction cache coalesce and hit, and that a chaos
+	// run needs to prove those hits stay bit-safe under reload races.
+	Hot bool
 	// Payload is the request's malformation class.
 	Payload PayloadKind
 	// Timeout, when nonzero, is a client-side deadline attached to the
@@ -90,6 +96,8 @@ const (
 	burstSize         = 48 // simultaneous requests per burst (> queue depth, to force shedding)
 	reloadSpacing     = 250 * time.Millisecond
 	clientTimeoutFrac = 0.08 // fraction of OK requests carrying a client-side deadline
+	hotPoolSize       = 8    // eval-row prefix the duplicate (hot) class draws from
+	hotFrac           = 0.35 // fraction of OK requests pinned to the hot pool
 )
 
 // BuildSchedule derives the full request schedule from a seed: request
@@ -171,14 +179,24 @@ func buildRequest(r *rand.Rand, at time.Duration, models []string, evalRows int)
 		ev.Payload = PayloadUnknownCategory
 		ev.Model = "lre"
 	}
+	// Duplicate class: a share of well-formed requests draws rows only
+	// from the hot prefix, so the same design points repeat across
+	// concurrent requests and batch bodies.
+	pool := evalRows
+	if ev.Payload == PayloadOK && r.Float64() < hotFrac {
+		ev.Hot = true
+		if pool > hotPoolSize {
+			pool = hotPoolSize
+		}
+	}
 	if r.Float64() < 0.7 {
 		ev.Single = true
-		ev.RowIdxs = []int{r.Intn(evalRows)}
+		ev.RowIdxs = []int{r.Intn(pool)}
 	} else {
 		n := 2 + r.Intn(6)
 		ev.RowIdxs = make([]int, n)
 		for i := range ev.RowIdxs {
-			ev.RowIdxs[i] = r.Intn(evalRows)
+			ev.RowIdxs[i] = r.Intn(pool)
 		}
 	}
 	if ev.Payload == PayloadOK && r.Float64() < clientTimeoutFrac {
@@ -193,8 +211,8 @@ func buildRequest(r *rand.Rand, at time.Duration, models []string, evalRows int)
 func (s *Schedule) Hash() uint64 {
 	h := fnv.New64a()
 	for _, ev := range s.Events {
-		fmt.Fprintf(h, "%d|%d|%t|%t|%s|%v|%t|%d|%d\n",
-			ev.Seq, ev.At, ev.Reload, ev.AdminHTTP, ev.Model, ev.RowIdxs, ev.Single, ev.Payload, ev.Timeout)
+		fmt.Fprintf(h, "%d|%d|%t|%t|%s|%v|%t|%t|%d|%d\n",
+			ev.Seq, ev.At, ev.Reload, ev.AdminHTTP, ev.Model, ev.RowIdxs, ev.Single, ev.Hot, ev.Payload, ev.Timeout)
 	}
 	return h.Sum64()
 }

@@ -50,6 +50,32 @@ const (
 	MetricServeQueueDepth = "serve.queue_depth"
 )
 
+// Canonical prediction-cache metric names. The predcache layer records
+// into these entries when the daemon runs with -cache-entries > 0; all
+// stay 0 with the cache disabled.
+const (
+	// MetricCacheLookups counts row lookups against the prediction
+	// cache. Every lookup is classified as exactly one hit or miss, so
+	// lookups == hits + misses at rest.
+	MetricCacheLookups = "cache.lookups"
+	// MetricCacheHits counts lookups answered from a resolved entry
+	// (bit-identical to scoring, no kernel work).
+	MetricCacheHits = "cache.hits"
+	// MetricCacheMisses counts lookups that had to be scored — either
+	// leading a new flight or coalescing onto a pending one.
+	MetricCacheMisses = "cache.misses"
+	// MetricCacheCoalesced counts the subset of misses that rode another
+	// request's in-flight scoring instead of occupying a batcher slot
+	// (coalesced ≤ misses).
+	MetricCacheCoalesced = "cache.coalesced"
+	// MetricCacheEvictions counts entries dropped for capacity (LRU) or
+	// displaced by a hash-colliding row.
+	MetricCacheEvictions = "cache.evictions"
+	// MetricCacheInvalidations counts entries dropped because their
+	// artifact generation was superseded by a reload.
+	MetricCacheInvalidations = "cache.invalidations"
+)
+
 // ServeReportVersion is the current ServeReport schema version.
 const ServeReportVersion = 1
 
@@ -100,6 +126,10 @@ type ServeReport struct {
 	// disabled).
 	FaultsInjected int64 `json:"faults_injected"`
 
+	// Cache carries the prediction-cache counters (all zero when the
+	// daemon runs without -cache-entries).
+	Cache CacheStats `json:"cache"`
+
 	// BatchSize, QueueWaitSeconds, LatencySeconds and KernelSeconds
 	// summarize the timing histograms.
 	BatchSize        HistogramStats `json:"batch_size"`
@@ -110,6 +140,20 @@ type ServeReport struct {
 	// Metrics is the full raw snapshot the summary fields were read
 	// from, for anything the typed fields leave out.
 	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// CacheStats summarizes the prediction cache's lifetime counters (see
+// the MetricCache* names). Hits + Misses == Lookups once the daemon is
+// quiescent; a live snapshot can catch a lookup between its counter
+// increments, so that identity is asserted by the chaos harness on the
+// final post-drain report, not by Validate.
+type CacheStats struct {
+	Lookups       int64 `json:"lookups"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Coalesced     int64 `json:"coalesced"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
 }
 
 // BuildServeReport snapshots the registry into a ServeReport.
@@ -131,6 +175,14 @@ func BuildServeReport(meta ServeMeta, reg *Registry) *ServeReport {
 		r.Errors = snap.Counters[MetricServeErrors]
 		r.Reloads = snap.Counters[MetricServeReloads]
 		r.FaultsInjected = snap.Counters[MetricServeFaults]
+		r.Cache = CacheStats{
+			Lookups:       snap.Counters[MetricCacheLookups],
+			Hits:          snap.Counters[MetricCacheHits],
+			Misses:        snap.Counters[MetricCacheMisses],
+			Coalesced:     snap.Counters[MetricCacheCoalesced],
+			Evictions:     snap.Counters[MetricCacheEvictions],
+			Invalidations: snap.Counters[MetricCacheInvalidations],
+		}
 		r.BatchSize = snap.Histograms[MetricServeBatchSize]
 		r.QueueWaitSeconds = snap.Histograms[MetricServeQueueWait]
 		r.LatencySeconds = snap.Histograms[MetricServeLatency]
@@ -153,6 +205,9 @@ func (r *ServeReport) Validate() error {
 		"requests": r.Requests, "predictions": r.Predictions, "batches": r.Batches,
 		"shed": r.Shed, "errors": r.Errors, "reloads": r.Reloads, "generation": r.Generation,
 		"faults_injected": r.FaultsInjected,
+		"cache.lookups":   r.Cache.Lookups, "cache.hits": r.Cache.Hits,
+		"cache.misses": r.Cache.Misses, "cache.coalesced": r.Cache.Coalesced,
+		"cache.evictions": r.Cache.Evictions, "cache.invalidations": r.Cache.Invalidations,
 	} {
 		if v < 0 {
 			return fmt.Errorf("obs: serve report %s is negative", name)

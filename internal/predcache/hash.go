@@ -1,0 +1,45 @@
+package predcache
+
+import "math"
+
+// hashSeed is an arbitrary odd constant folded with the row length so
+// rows of different widths start from different states.
+const hashSeed = 0x9e3779b97f4a7c15
+
+// hashPrime is the 64-bit FNV prime — odd, so multiplication by it is a
+// bijection on uint64.
+const hashPrime = 1099511628211
+
+// HashRow computes the canonical hash of an encoded feature row (the
+// flat []float64 written by dataset.Encoder.EncodeRowInto). Two
+// properties matter for the cache:
+//
+//  1. Equal rows hash equal, where "equal" is float64 == — so -0.0 is
+//     normalized to +0.0 before hashing (they compare equal, they must
+//     hash equal).
+//  2. Any single-cell perturbation changes the hash. Each cell passes
+//     through mix64 (a bijection), is XORed into the running state, and
+//     the state is multiplied by an odd prime (another bijection). With
+//     every other cell fixed, the final hash is a bijective function of
+//     any one cell's bits — distinct values in that cell cannot
+//     collide. (Cross-cell collisions remain possible; the cache stores
+//     the row and compares on hit, so they only cost a miss.)
+//
+// Both properties are enforced by FuzzRowKey.
+func HashRow(row []float64) uint64 {
+	h := mix64(hashSeed ^ uint64(len(row)))
+	for _, v := range row {
+		if v == 0 {
+			v = 0 // collapse -0.0 onto +0.0
+		}
+		h = (h ^ mix64(math.Float64bits(v))) * hashPrime
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche on uint64.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

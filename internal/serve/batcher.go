@@ -15,8 +15,44 @@ import (
 
 // ErrOverloaded is returned (and mapped to 429 + Retry-After) when the
 // admission queue is full: the daemon sheds the request instead of
-// letting latency grow without bound.
+// letting latency grow without bound. Shed errors are actually
+// *OverloadedError values carrying a queue-pressure-derived Retry-After;
+// errors.Is(err, ErrOverloaded) matches them.
 var ErrOverloaded = errors.New("serve: admission queue full")
+
+// OverloadedError is the concrete shed error: ErrOverloaded plus the
+// Retry-After the HTTP layer should advertise, derived from how full
+// the admission queue was at the moment of shedding.
+type OverloadedError struct {
+	// RetryAfter is the suggested client back-off in whole seconds,
+	// between 1 (queue momentarily full but draining) and 5 (sustained
+	// saturation).
+	RetryAfter int
+}
+
+func (e *OverloadedError) Error() string { return ErrOverloaded.Error() }
+
+// Is makes errors.Is(err, ErrOverloaded) match, so every existing
+// caller and test keeps working against the sentinel.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// retryAfterSeconds maps observed queue pressure onto a client back-off:
+// 1s at an empty-to-quarter-full queue up to 5s at or beyond capacity,
+// in linear steps. Shedding happens when the enqueue attempt finds the
+// channel full, but the observed length can lag concurrent dequeues —
+// hence pressure, not a constant.
+func retryAfterSeconds(queued, capacity int) int {
+	if capacity <= 0 {
+		return 1
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	if queued > capacity {
+		queued = capacity
+	}
+	return 1 + 4*queued/capacity
+}
 
 // ErrDraining is returned (and mapped to 503) for requests arriving
 // after shutdown began.
@@ -146,7 +182,7 @@ func (b *Batcher) Predict(ctx context.Context, m *Model, rows [][]dataset.Value)
 	case b.queue <- req:
 	default:
 		b.met.shed.Inc()
-		return nil, ErrOverloaded
+		return nil, &OverloadedError{RetryAfter: retryAfterSeconds(len(b.queue), cap(b.queue))}
 	}
 	select {
 	case err := <-req.done:

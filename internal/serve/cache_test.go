@@ -1,0 +1,427 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"perfpred/internal/core"
+	"perfpred/internal/dataset"
+	"perfpred/internal/faultinject"
+	"perfpred/internal/obs"
+)
+
+// newCachedTestServer is newTestServer with the prediction cache armed.
+func newCachedTestServer(t testing.TB, entries int) (*Server, *dataset.Dataset, string) {
+	t.Helper()
+	d := synthDataset(t, 64, 6)
+	dir := t.TempDir()
+	saveModel(t, dir, "lre", trainModel(t, core.LRE, d))
+	saveModel(t, dir, "nns", trainModel(t, core.NNS, d))
+	s, err := New(Config{
+		ModelsDir:    dir,
+		Batcher:      BatcherConfig{Workers: 2, MaxWait: 0},
+		CacheEntries: entries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, d, dir
+}
+
+// trainModelSeed trains like trainModel but with a caller-chosen seed,
+// so a retrained artifact genuinely predicts differently.
+func trainModelSeed(t testing.TB, kind core.ModelKind, d *dataset.Dataset, seed int64) *core.Predictor {
+	t.Helper()
+	p, err := core.Train(context.Background(), kind, d, core.TrainConfig{Seed: seed, Workers: 2, EpochScale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCachedServingBitIdentical compares cached serving against the
+// model's own offline scalar path on repeated rows: the first request
+// misses and scores, every repeat hits, and all of them must be exactly
+// the offline value.
+func TestCachedServingBitIdentical(t *testing.T) {
+	s, d, _ := newCachedTestServer(t, 256)
+	m, _ := s.Registry().Get("nns")
+	for i := 0; i < 8; i++ {
+		want, err := m.Pred.Predict(d.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			out := make([]float64, 1)
+			if err := s.cache.predictInto(context.Background(), m, s.reg.Generation(), [][]dataset.Value{d.Row(i)}, out); err != nil {
+				t.Fatal(err)
+			}
+			if out[0] != want {
+				t.Fatalf("row %d rep %d: cached %v != offline %v", i, rep, out[0], want)
+			}
+		}
+	}
+	snap := s.MetricsRegistry().Snapshot()
+	// At least the 2 repeats of each row hit; the synthetic dataset may
+	// also contain duplicate design points, which hit on first sight.
+	if hits := snap.Counters[obs.MetricCacheHits]; hits < 16 {
+		t.Fatalf("hits = %d, want ≥ 16 (2 repeats × 8 rows)", hits)
+	}
+	if lookups, hm := snap.Counters[obs.MetricCacheLookups], snap.Counters[obs.MetricCacheHits]+snap.Counters[obs.MetricCacheMisses]; lookups != hm {
+		t.Fatalf("lookups=%d != hits+misses=%d", lookups, hm)
+	}
+}
+
+// TestCacheMixedHitMissBatch posts a batch body that is part cached,
+// part fresh, part duplicate-within-the-batch, and requires every
+// position to match offline scoring — the partial-hit fill path.
+func TestCacheMixedHitMissBatch(t *testing.T) {
+	s, d, _ := newCachedTestServer(t, 256)
+	m, _ := s.Registry().Get("lre")
+	gen := s.reg.Generation()
+
+	// Warm row 0 into the cache.
+	warm := make([]float64, 1)
+	if err := s.cache.predictInto(context.Background(), m, gen, [][]dataset.Value{d.Row(0)}, warm); err != nil {
+		t.Fatal(err)
+	}
+
+	// hit, fresh, duplicate-of-fresh, hit, another fresh
+	rows := [][]dataset.Value{d.Row(0), d.Row(1), d.Row(1), d.Row(0), d.Row(2)}
+	out := make([]float64, len(rows))
+	if err := s.cache.predictInto(context.Background(), m, gen, rows, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		want, err := m.Pred.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i] != want {
+			t.Fatalf("position %d: %v != offline %v", i, out[i], want)
+		}
+	}
+	snap := s.MetricsRegistry().Snapshot()
+	// Positions 0 and 3 hit; 1 leads; 2 coalesces on 1's flight; 4 leads.
+	if hits, coal := snap.Counters[obs.MetricCacheHits], snap.Counters[obs.MetricCacheCoalesced]; hits != 2 || coal != 1 {
+		t.Fatalf("hits=%d coalesced=%d, want 2, 1", hits, coal)
+	}
+}
+
+// TestCacheInvalidationOnReload retrains an artifact in place, reloads,
+// and requires the daemon to serve the NEW model's value — a cached
+// value from the previous generation must be unreachable.
+func TestCacheInvalidationOnReload(t *testing.T) {
+	s, d, dir := newCachedTestServer(t, 256)
+	h := s.Handler()
+	body := map[string]any{"model": "nns", "row": rowJSON(d, 0)}
+
+	w := postPredict(t, h, body)
+	if w.Code != 200 {
+		t.Fatalf("warm predict: %d %s", w.Code, w.Body)
+	}
+	var before PredictResponse
+	mustDecode(t, w.Body.Bytes(), &before)
+
+	// Same request again: a cache hit, identical bits.
+	w = postPredict(t, h, body)
+	var again PredictResponse
+	mustDecode(t, w.Body.Bytes(), &again)
+	if *again.Prediction != *before.Prediction {
+		t.Fatalf("repeat diverged: %v != %v", *again.Prediction, *before.Prediction)
+	}
+
+	// Retrain nns with a different seed and swap the artifact on disk.
+	retrained := trainModelSeed(t, core.NNS, d, 99)
+	saveModel(t, dir, "nns", retrained)
+	want, err := retrained.Predict(d.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == *before.Prediction {
+		t.Fatal("retrained model predicts identically; test has no teeth")
+	}
+	if _, err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The daemon must now serve the retrained value, not the cached one.
+	w = postPredict(t, h, body)
+	if w.Code != 200 {
+		t.Fatalf("post-reload predict: %d %s", w.Code, w.Body)
+	}
+	var after PredictResponse
+	mustDecode(t, w.Body.Bytes(), &after)
+	if *after.Prediction != want {
+		t.Fatalf("post-reload served %v, want retrained %v (stale cache?)", *after.Prediction, want)
+	}
+	snap := s.MetricsRegistry().Snapshot()
+	if inv := snap.Counters[obs.MetricCacheInvalidations]; inv < 1 {
+		t.Fatalf("invalidations = %d, want ≥ 1", inv)
+	}
+}
+
+// TestCachedPredictCoalesces holds the batcher's scorer open while N
+// goroutines request the same row and pins that the kernel scored that
+// row exactly once — the singleflight contract.
+func TestCachedPredictCoalesces(t *testing.T) {
+	s, d, _ := newCachedTestServer(t, 256)
+	m, _ := s.Registry().Get("lre")
+	gen := s.reg.Generation()
+
+	// Swap in a scorer that counts kernel row-scorings and blocks until
+	// released, so all goroutines pile onto one pending flight.
+	s.bat.Close()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	scoredRows := 0
+	entered := make(chan struct{}, 64)
+	score := func(ctx context.Context, sm *Model, rows [][]dataset.Value, out []float64) error {
+		mu.Lock()
+		scoredRows += len(rows)
+		mu.Unlock()
+		entered <- struct{}{}
+		<-release
+		return scoreModel(ctx, sm, rows, out)
+	}
+	s.bat = newBatcher(BatcherConfig{QueueDepth: 64, MaxBatch: 64, MaxWait: 0, Workers: 1}, s.met, score)
+	defer s.bat.Close()
+	s.cache.bat = s.bat
+
+	want, err := m.Pred.Predict(d.Row(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	results := make([]float64, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]float64, 1)
+			errs[g] = s.cache.predictInto(context.Background(), m, gen, [][]dataset.Value{d.Row(3)}, out)
+			results[g] = out[0]
+		}(g)
+	}
+	<-entered // the single leader reached the scorer
+	// Give followers time to coalesce onto the pending flight, then let
+	// the leader finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if results[g] != want {
+			t.Fatalf("goroutine %d: %v != offline %v", g, results[g], want)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if scoredRows != 1 {
+		t.Fatalf("kernel scored %d rows for one identical row, want 1", scoredRows)
+	}
+	snap := s.MetricsRegistry().Snapshot()
+	if coal := snap.Counters[obs.MetricCacheCoalesced]; coal != goroutines-1 {
+		t.Fatalf("coalesced = %d, want %d", coal, goroutines-1)
+	}
+}
+
+// TestCacheAbandonFallsBack fails the leader's scoring once and checks
+// waiters fall back to scoring for themselves instead of inheriting the
+// failure or a bogus value.
+func TestCacheAbandonFallsBack(t *testing.T) {
+	s, d, _ := newCachedTestServer(t, 256)
+	m, _ := s.Registry().Get("lre")
+	gen := s.reg.Generation()
+
+	s.bat.Close()
+	boom := errors.New("injected scorer failure")
+	var mu sync.Mutex
+	failed := false
+	entered := make(chan struct{}, 64)
+	release := make(chan struct{})
+	score := func(ctx context.Context, sm *Model, rows [][]dataset.Value, out []float64) error {
+		mu.Lock()
+		first := !failed
+		failed = true
+		mu.Unlock()
+		if first {
+			entered <- struct{}{}
+			<-release
+			return boom
+		}
+		return scoreModel(ctx, sm, rows, out)
+	}
+	s.bat = newBatcher(BatcherConfig{QueueDepth: 64, MaxBatch: 1, MaxWait: 0, Workers: 1}, s.met, score)
+	defer s.bat.Close()
+	s.cache.bat = s.bat
+
+	want, err := m.Pred.Predict(d.Row(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	leaderErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := make([]float64, 1)
+		leaderErr <- s.cache.predictInto(context.Background(), m, gen, [][]dataset.Value{d.Row(5)}, out)
+	}()
+	<-entered // leader is inside the failing scorer
+
+	waiterDone := make(chan struct{})
+	var waiterVal float64
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		out := make([]float64, 1)
+		waiterErr = s.cache.predictInto(context.Background(), m, gen, [][]dataset.Value{d.Row(5)}, out)
+		waiterVal = out[0]
+	}()
+	time.Sleep(20 * time.Millisecond) // waiter coalesces onto the flight
+	close(release)                    // leader's scoring now fails
+	wg.Wait()
+	if err := <-leaderErr; !errors.Is(err, boom) {
+		t.Fatalf("leader error = %v, want injected failure", err)
+	}
+	select {
+	case <-waiterDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never resolved after leader abandoned")
+	}
+	if waiterErr != nil {
+		t.Fatalf("waiter error: %v", waiterErr)
+	}
+	if waiterVal != want {
+		t.Fatalf("waiter fallback value %v != offline %v", waiterVal, want)
+	}
+}
+
+// TestCacheFaultBypassFailOpen arms the serve.cache_lookup fault point
+// with an always-fire error and checks requests still succeed with
+// bit-identical answers — the cache fails open to the direct path.
+func TestCacheFaultBypassFailOpen(t *testing.T) {
+	inj := faultinject.New(11, map[faultinject.Point]faultinject.Plan{
+		faultinject.ServeCacheLookup: {Every: 1, Err: errors.New("injected cache fault")},
+	})
+	restore := faultinject.Activate(inj)
+	defer restore()
+
+	s, d, _ := newCachedTestServer(t, 256)
+	h := s.Handler()
+	m, _ := s.Registry().Get("nns")
+	want, err := m.Pred.Predict(d.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		w := postPredict(t, h, map[string]any{"model": "nns", "row": rowJSON(d, 0)})
+		if w.Code != 200 {
+			t.Fatalf("bypassed predict %d: %d %s", i, w.Code, w.Body)
+		}
+		var resp PredictResponse
+		mustDecode(t, w.Body.Bytes(), &resp)
+		if *resp.Prediction != want {
+			t.Fatalf("bypassed predict %d: %v != offline %v", i, *resp.Prediction, want)
+		}
+	}
+	snap := s.MetricsRegistry().Snapshot()
+	// Every request bypassed: the cache saw no lookups, and each bypass
+	// counted as an injected serve fault.
+	if lookups := snap.Counters[obs.MetricCacheLookups]; lookups != 0 {
+		t.Fatalf("lookups = %d, want 0 (all requests bypassed)", lookups)
+	}
+	if faults := snap.Counters[obs.MetricServeFaults]; faults < 3 {
+		t.Fatalf("faults_injected = %d, want ≥ 3", faults)
+	}
+	if st := inj.Stats()[faultinject.ServeCacheLookup.String()]; st.Fires < 3 {
+		t.Fatalf("cache_lookup fires = %d, want ≥ 3", st.Fires)
+	}
+}
+
+// TestCachedPredictHitZeroAlloc pins the all-hits request path at zero
+// allocations, same discipline as the kernel and batcher pins: the
+// cache exists to be cheaper than scoring, so a hit must not pay the
+// allocator.
+func TestCachedPredictHitZeroAlloc(t *testing.T) {
+	s, d, _ := newCachedTestServer(t, 256)
+	m, _ := s.Registry().Get("lre")
+	gen := s.reg.Generation()
+	rows := [][]dataset.Value{d.Row(0), d.Row(1)}
+	out := make([]float64, len(rows))
+	ctx := context.Background()
+	// Warm both rows to resolved entries.
+	if err := s.cache.predictInto(ctx, m, gen, rows, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := s.cache.predictInto(ctx, m, gen, rows, out); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached hit path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func mustDecode(t testing.TB, b []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("decoding %s: %v", b, err)
+	}
+}
+
+// BenchmarkCachedPredict measures the duplicate-heavy serving path with
+// the cache armed: every iteration is a resolved hit. Compare against
+// BenchmarkUncachedPredict (same rows through the micro-batcher) in
+// BENCH_8.json — the committed snapshot pins the ≥5× latency win that
+// justifies the cache.
+func BenchmarkCachedPredict(b *testing.B) {
+	s, d, _ := newCachedTestServer(b, 256)
+	m, _ := s.Registry().Get("nns")
+	gen := s.reg.Generation()
+	rows := [][]dataset.Value{d.Row(0)}
+	out := make([]float64, 1)
+	ctx := context.Background()
+	if err := s.cache.predictInto(ctx, m, gen, rows, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.cache.predictInto(ctx, m, gen, rows, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUncachedPredict is the identical workload through the plain
+// micro-batcher — the baseline the cache must beat.
+func BenchmarkUncachedPredict(b *testing.B) {
+	s, d, _ := newCachedTestServer(b, 256)
+	m, _ := s.Registry().Get("nns")
+	rows := [][]dataset.Value{d.Row(0)}
+	ctx := context.Background()
+	if _, err := s.bat.Predict(ctx, m, rows); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.bat.Predict(ctx, m, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

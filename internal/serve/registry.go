@@ -120,6 +120,17 @@ func (r *Registry) Get(name string) (*Model, bool) {
 	return m, ok
 }
 
+// Resolve resolves a model together with the generation of the catalog
+// it came from, in one atomic catalog load. The cache keys entries by
+// (model, generation); resolving them separately (Get then Generation)
+// could straddle a reload and pair an old model with a new generation —
+// exactly the stale-value hazard the generation key exists to prevent.
+func (r *Registry) Resolve(name string) (*Model, int64, bool) {
+	c := r.cur.Load()
+	m, ok := c.models[name]
+	return m, c.gen, ok
+}
+
 // Names lists the current catalog's model names, sorted.
 func (r *Registry) Names() []string {
 	return append([]string(nil), r.cur.Load().names...)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,13 @@ type Config struct {
 	// admitted prediction (propagated through the batcher via the
 	// request context). 0 means 5s.
 	RequestTimeout time.Duration
+	// CacheEntries bounds the prediction cache; 0 (the default)
+	// disables caching entirely, preserving the uncached serving path
+	// byte for byte. The cache is bit-safe by construction — entries
+	// verify row equality and are keyed by artifact generation — but it
+	// is opt-in because it trades memory for latency and its win is
+	// workload-dependent (it needs duplicate design points to pay off).
+	CacheEntries int
 	// Metrics is the registry to record into; nil creates a private one.
 	Metrics *obs.Registry
 }
@@ -36,6 +44,7 @@ type Server struct {
 	reg     *Registry
 	met     *metrics
 	bat     *Batcher
+	cache   *cachedPredictor // nil unless cfg.CacheEntries > 0
 	mux     *http.ServeMux
 	started time.Time
 	addr    atomic.Value // string; bound listen address, set by the daemon
@@ -66,6 +75,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.started = s.clock.Now()
 	s.bat = newBatcher(cfg.Batcher, s.met, scoreModel)
+	if cfg.CacheEntries > 0 {
+		s.cache = newCachedPredictor(cfg.CacheEntries, s.bat, s.met, fi)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
@@ -121,6 +133,12 @@ func (s *Server) Reload() (int64, error) {
 	gen, err := s.reg.Reload()
 	if err == nil {
 		s.met.reloads.Inc()
+		// Entries keyed by older generations are already unreachable (the
+		// generation is part of the cache key); dropping them now reclaims
+		// their memory instead of waiting on LRU pressure.
+		if s.cache != nil {
+			s.cache.cache.Invalidate(gen)
+		}
 	}
 	return gen, err
 }
@@ -146,7 +164,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	m, ok := s.reg.Get(req.Model)
+	// Resolve model and catalog generation from one atomic catalog load:
+	// the cache keys entries by (model, generation), and resolving them
+	// separately could straddle a reload.
+	m, gen, ok := s.reg.Resolve(req.Model)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown model %q (see /v1/models)", req.Model))
 		return
@@ -170,7 +191,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	out, err := s.bat.Predict(ctx, m, rows)
+	var out []float64
+	if s.cache != nil {
+		out = make([]float64, len(rows))
+		err = s.cache.predictInto(ctx, m, gen, rows, out)
+	} else {
+		out, err = s.bat.Predict(ctx, m, rows)
+	}
 	if err != nil {
 		s.writePredictError(w, err)
 		return
@@ -202,7 +229,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 func (s *Server) writePredictError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		// Retry-After scales with the queue pressure observed at shed
+		// time (see retryAfterSeconds); plain ErrOverloaded (tests,
+		// non-batcher callers) falls back to the minimum back-off.
+		retry := 1
+		var oe *OverloadedError
+		if errors.As(err, &oe) {
+			retry = oe.RetryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -303,13 +304,14 @@ func TestServerShedMapsTo429(t *testing.T) {
 		}
 	}
 
-	// The next request is shed.
+	// The next request is shed. The queue (capacity 1) is full at shed
+	// time, so the derived Retry-After is pinned at the saturation value.
 	w := postPredict(t, h, body)
 	if w.Code != http.StatusTooManyRequests {
 		t.Fatalf("overloaded predict: %d %s", w.Code, w.Body)
 	}
-	if w.Header().Get("Retry-After") != "1" {
-		t.Fatalf("Retry-After = %q, want 1", w.Header().Get("Retry-After"))
+	if w.Header().Get("Retry-After") != "5" {
+		t.Fatalf("Retry-After = %q, want 5", w.Header().Get("Retry-After"))
 	}
 	var e ErrorResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "queue full") {
@@ -379,5 +381,65 @@ func TestServerPreEnqueueValidation(t *testing.T) {
 	w := postPredict(t, h, map[string]any{"model": "nns", "row": alien})
 	if w.Code != http.StatusOK {
 		t.Fatalf("unseen category on one-hot model = %d, want 200 (%s)", w.Code, w.Body)
+	}
+}
+
+// TestRetryAfterSeconds pins the queue-pressure → Retry-After mapping:
+// 1s for a quiet queue rising linearly to 5s at saturation, clamped on
+// both sides, with degenerate capacities falling back to the minimum.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		queued, capacity, want int
+	}{
+		{0, 256, 1},
+		{63, 256, 1},
+		{64, 256, 2},
+		{128, 256, 3},
+		{192, 256, 4},
+		{255, 256, 4},
+		{256, 256, 5},
+		{300, 256, 5}, // over-reported depth clamps to capacity
+		{-3, 256, 1},  // racy negative observation clamps to zero
+		{1, 1, 5},
+		{0, 1, 1},
+		{0, 0, 1}, // degenerate capacity
+		{5, -1, 1},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.queued, tc.capacity); got != tc.want {
+			t.Errorf("retryAfterSeconds(%d, %d) = %d, want %d", tc.queued, tc.capacity, got, tc.want)
+		}
+	}
+}
+
+// TestWritePredictErrorRetryAfterHeader pins the exact Retry-After the
+// HTTP layer emits for shed errors: the value carried by the batcher's
+// OverloadedError, and the minimum back-off for a bare ErrOverloaded
+// (which errors.Is still matches via OverloadedError.Is).
+func TestWritePredictErrorRetryAfterHeader(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   error
+		want  string
+		wants int
+	}{
+		{"bare sentinel", ErrOverloaded, "1", http.StatusTooManyRequests},
+		{"quiet queue", &OverloadedError{RetryAfter: 1}, "1", http.StatusTooManyRequests},
+		{"half full", &OverloadedError{RetryAfter: 3}, "3", http.StatusTooManyRequests},
+		{"saturated", &OverloadedError{RetryAfter: 5}, "5", http.StatusTooManyRequests},
+		{"wrapped", fmt.Errorf("admit: %w", &OverloadedError{RetryAfter: 4}), "4", http.StatusTooManyRequests},
+	}
+	s := &Server{}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := httptest.NewRecorder()
+			s.writePredictError(w, tc.err)
+			if w.Code != tc.wants {
+				t.Fatalf("code = %d, want %d", w.Code, tc.wants)
+			}
+			if got := w.Header().Get("Retry-After"); got != tc.want {
+				t.Errorf("Retry-After = %q, want %q", got, tc.want)
+			}
+		})
 	}
 }
