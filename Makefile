@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-serve bench-figures e2e chaos coverage
+.PHONY: check build test race vet bench bench-serve bench-diff bench-figures e2e gateway chaos soak coverage
 
 check: build vet test race
 
@@ -41,10 +41,26 @@ bench-serve:
 	$(GO) run ./cmd/benchjson -o BENCH_8.json < bench.out.tmp
 	@rm -f bench.out.tmp
 
+# Perf-regression gate: re-run the serving-cache benchmarks and diff
+# them against the committed BENCH_8.json. ns/op gets a 4x tolerance
+# (CI hardware varies); allocs/op gets none, and the cached path's
+# 0 allocs/op is an exact pin. An intended regression is waived by
+# regenerating the baseline (`make bench-serve`) and committing it.
+bench-diff:
+	$(GO) test -run xxx -bench 'CachedPredict|UncachedPredict' -benchmem -count=2 ./internal/serve > bench.out.tmp
+	$(GO) run ./cmd/benchdiff -baseline BENCH_8.json < bench.out.tmp
+	@rm -f bench.out.tmp
+
 # End-to-end smoke of the serving daemon: train → serve → curl → drain,
 # asserting daemon predictions are bit-identical to offline scoring.
 e2e:
 	./scripts/e2e_serve.sh
+
+# End-to-end smoke of the replicated tier: two perfpredd replicas
+# behind perfpredgw, cache affinity proven, one replica killed
+# mid-stream with zero client-visible failures, ordered drain.
+gateway:
+	./scripts/e2e_gateway.sh
 
 # Chaos/soak run against an in-process daemon with fault injection AND
 # the prediction cache armed: deterministic seed-derived schedule with a
@@ -55,6 +71,13 @@ e2e:
 # printed seed.
 chaos:
 	$(GO) run ./cmd/perfpredload -seed 7 -duration 30s -cache-entries 2048 -report chaos-report.json
+
+# Gateway soak: the chaos run driven through the replicated topology —
+# three daemons behind the cache-affine gateway, fault plans armed,
+# one replica killed and restarted mid-schedule. The nightly workflow
+# runs this for 5 minutes per seed; locally 60s is a solid smoke.
+soak:
+	$(GO) run ./cmd/perfpredload -seed 7 -duration 60s -gateway-replicas 3 -replica-kill -cache-entries 2048 -report soak-report.json
 
 # Coverage summary for the core and serving packages (same profile the
 # CI coverage job uploads as an artifact).

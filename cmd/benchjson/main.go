@@ -9,50 +9,26 @@
 // Repeated runs of the same benchmark (-count=N) are averaged. The output
 // maps benchmark names (with the Benchmark prefix and any -GOMAXPROCS
 // suffix stripped) to ns/op, B/op, allocs/op, and — when a baseline is
-// given — the baseline ns/op and the speedup factor.
+// given — the baseline ns/op and the speedup factor. Parsing lives in
+// internal/benchfmt, shared with cmd/benchdiff which gates fresh runs
+// against these snapshots.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
+
+	"perfpred/internal/benchfmt"
 )
-
-// Result is one benchmark's aggregated measurement.
-type Result struct {
-	Runs        int     `json:"runs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	// Baseline join (present only when -baseline is given and names match).
-	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
-	Speedup         float64 `json:"speedup,omitempty"`
-}
-
-// Snapshot is the whole JSON document.
-type Snapshot struct {
-	GOOS   string `json:"goos,omitempty"`
-	GOARCH string `json:"goarch,omitempty"`
-	CPU    string `json:"cpu,omitempty"`
-	// Pkg is the first benchmarked package; Pkgs lists every package when
-	// one run spans several (e.g. the neural and tree kernels together).
-	Pkg        string            `json:"pkg,omitempty"`
-	Pkgs       []string          `json:"pkgs,omitempty"`
-	Benchmarks map[string]Result `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	baselinePath := flag.String("baseline", "", "baseline snapshot JSON to join for speedups")
 	flag.Parse()
 
-	snap, err := parse(os.Stdin)
+	snap, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,7 +36,7 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found on stdin"))
 	}
 	if *baselinePath != "" {
-		base, err := load(*baselinePath)
+		base, err := benchfmt.Load(*baselinePath)
 		if err != nil {
 			fatal(fmt.Errorf("reading baseline: %w", err))
 		}
@@ -70,7 +46,7 @@ func main() {
 				continue
 			}
 			r.BaselineNsPerOp = b.NsPerOp
-			r.Speedup = round3(b.NsPerOp / r.NsPerOp)
+			r.Speedup = benchfmt.Round3(b.NsPerOp / r.NsPerOp)
 			snap.Benchmarks[name] = r
 		}
 	}
@@ -88,112 +64,6 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
-}
-
-func load(path string) (*Snapshot, error) {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var s Snapshot
-	if err := json.Unmarshal(buf, &s); err != nil {
-		return nil, err
-	}
-	return &s, nil
-}
-
-// accum sums repeated runs of one benchmark before averaging.
-type accum struct {
-	runs   int
-	ns     float64
-	bytes  int64
-	allocs int64
-}
-
-// parse reads `go test -bench` output and aggregates benchmark lines.
-func parse(r io.Reader) (*Snapshot, error) {
-	snap := &Snapshot{Benchmarks: map[string]Result{}}
-	acc := map[string]*accum{}
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			snap.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-			continue
-		case strings.HasPrefix(line, "goarch:"):
-			snap.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-			continue
-		case strings.HasPrefix(line, "cpu:"):
-			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-			continue
-		case strings.HasPrefix(line, "pkg:"):
-			pkg := strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-			if snap.Pkg == "" {
-				snap.Pkg = pkg
-			}
-			snap.Pkgs = append(snap.Pkgs, pkg)
-			continue
-		case !strings.HasPrefix(line, "Benchmark"):
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 || fields[3] != "ns/op" {
-			continue
-		}
-		name := strings.TrimPrefix(fields[0], "Benchmark")
-		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		ns, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
-		}
-		a := acc[name]
-		if a == nil {
-			a = &accum{}
-			acc[name] = a
-		}
-		a.runs++
-		a.ns += ns
-		// -benchmem columns are optional.
-		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
-			if err != nil {
-				continue
-			}
-			switch fields[i+1] {
-			case "B/op":
-				a.bytes = v
-			case "allocs/op":
-				a.allocs = v
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	names := make([]string, 0, len(acc))
-	for name := range acc {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		a := acc[name]
-		snap.Benchmarks[name] = Result{
-			Runs:        a.runs,
-			NsPerOp:     round3(a.ns / float64(a.runs)),
-			BytesPerOp:  a.bytes,
-			AllocsPerOp: a.allocs,
-		}
-	}
-	return snap, nil
-}
-
-func round3(x float64) float64 {
-	return float64(int64(x*1000+0.5)) / 1000
 }
 
 func fatal(err error) {

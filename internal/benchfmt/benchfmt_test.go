@@ -1,6 +1,8 @@
-package main
+package benchfmt
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -17,7 +19,7 @@ ok  	perfpred/internal/neural	19.955s
 `
 
 func TestParse(t *testing.T) {
-	snap, err := parse(strings.NewReader(sample))
+	snap, err := Parse(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,12 +49,25 @@ func TestParse(t *testing.T) {
 }
 
 func TestParseNoBenchmem(t *testing.T) {
-	snap, err := parse(strings.NewReader("BenchmarkX\t10\t123 ns/op\n"))
+	snap, err := Parse(strings.NewReader("BenchmarkX\t10\t123 ns/op\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	x := snap.Benchmarks["X"]
 	if x.NsPerOp != 123 || x.BytesPerOp != 0 {
 		t.Errorf("X = %+v", x)
+	}
+}
+
+func TestLoadRejectsMissingAndCorrupt(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("Load accepted a missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("Load accepted non-JSON")
 	}
 }

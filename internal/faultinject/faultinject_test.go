@@ -153,3 +153,39 @@ func TestSkewClockDeterministicWobble(t *testing.T) {
 		}
 	}
 }
+
+// TestPointNamesStable pins every hook point's wire name: chaos
+// schedules, stats maps and reports key on these strings, so a rename
+// is a breaking change this test makes deliberate.
+func TestPointNamesStable(t *testing.T) {
+	want := map[Point]string{
+		EngineTaskStart:    "engine.task_start",
+		EngineTaskDone:     "engine.task_done",
+		CoreArtifactLoad:   "core.artifact_load",
+		ServeAdmit:         "serve.admit",
+		ServeBatchFlush:    "serve.batch_flush",
+		ServeReload:        "serve.reload",
+		ServeCacheLookup:   "serve.cache_lookup",
+		GatewayRoute:       "gateway.route",
+		GatewayHedge:       "gateway.hedge",
+		GatewayHealthProbe: "gateway.health_probe",
+	}
+	pts := Points()
+	if len(pts) != len(want) {
+		t.Fatalf("Points() lists %d points, this test covers %d — update the name table", len(pts), len(want))
+	}
+	seen := map[string]Point{}
+	for _, p := range pts {
+		name, ok := want[p]
+		if !ok {
+			t.Fatalf("point %d has no pinned name", p)
+		}
+		if got := p.String(); got != name {
+			t.Errorf("point %d named %q, want %q", p, got, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("points %d and %d share the name %q", prev, p, name)
+		}
+		seen[name] = p
+	}
+}

@@ -1,0 +1,620 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perfpred/internal/faultinject"
+	"perfpred/internal/obs"
+)
+
+// fakeReplica is a scriptable upstream standing in for perfpredd: it
+// answers /healthz and /v1/predict, counts predicts, and can be made to
+// stall, fail transport (server stopped), or answer canned statuses.
+type fakeReplica struct {
+	srv      *httptest.Server
+	predicts atomic.Int64
+	probes   atomic.Int64
+
+	mu      sync.Mutex
+	stall   time.Duration
+	status  int
+	body    string
+	healthy bool
+}
+
+func newFakeReplica(t *testing.T) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{status: http.StatusOK, healthy: true}
+	f.body = `{"model":"m","predictions":[1]}`
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		f.probes.Add(1)
+		f.mu.Lock()
+		ok := f.healthy
+		f.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		f.predicts.Add(1)
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		f.mu.Lock()
+		stall, status, body := f.stall, f.status, f.body
+		f.mu.Unlock()
+		if stall > 0 {
+			select {
+			case <-time.After(stall):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "3")
+		}
+		w.WriteHeader(status)
+		fmt.Fprint(w, body)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeReplica) addr() string { return strings.TrimPrefix(f.srv.URL, "http://") }
+
+func (f *fakeReplica) set(fn func(*fakeReplica)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f)
+}
+
+func newTestGateway(t *testing.T, cfg Config, reps ...*fakeReplica) *Gateway {
+	t.Helper()
+	for _, r := range reps {
+		cfg.Replicas = append(cfg.Replicas, r.addr())
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func predictBody(model string, cells ...float64) string {
+	row, _ := json.Marshal(cells)
+	return fmt.Sprintf(`{"model":%q,"row":%s}`, model, row)
+}
+
+func doPredict(t *testing.T, g *Gateway, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestRoutingKeyFraming pins the affinity contract: the key depends on
+// (model, row values), not on JSON framing — single-row and one-element
+// batch forms, whitespace, field order and numeric spelling all
+// coincide; any value or model change separates.
+func TestRoutingKeyFraming(t *testing.T) {
+	base, ok := routingKey([]byte(`{"model":"m","row":[1,2.5,3]}`))
+	if !ok {
+		t.Fatal("routingKey rejected a valid body")
+	}
+	same := []string{
+		`{"model":"m","rows":[[1,2.5,3]]}`,
+		` { "row" : [ 1.0 , 2.5 , 3 ] , "model" : "m" } `,
+	}
+	for _, s := range same {
+		if k, ok := routingKey([]byte(s)); !ok || k != base {
+			t.Errorf("body %s got key %#x ok=%v, want %#x", s, k, ok, base)
+		}
+	}
+	diff := []string{
+		`{"model":"m2","row":[1,2.5,3]}`,
+		`{"model":"m","row":[1,2.5,4]}`,
+		`{"model":"m","row":[1,2.5]}`,
+		`{"model":"m","rows":[[1,2.5,3],[1,2.5,3]]}`,
+	}
+	for _, s := range diff {
+		if k, ok := routingKey([]byte(s)); !ok || k == base {
+			t.Errorf("body %s should key differently from the base", s)
+		}
+	}
+	if _, ok := routingKey([]byte(`{"not":"a request"}`)); ok {
+		t.Error("routingKey accepted a malformed body")
+	}
+}
+
+// TestRendezvousStability pins the two rendezvous properties routing
+// relies on: determinism (same key, same order) and minimal disruption
+// (removing one replica only moves the keys it owned).
+func TestRendezvousStability(t *testing.T) {
+	addrs := []string{"a:1", "b:2", "c:3"}
+	full := &Gateway{}
+	for i, addr := range addrs {
+		full.reps = append(full.reps, newReplica(i, addr))
+	}
+	// without[j] is the same tier with replica j removed; replica
+	// identities are address-derived, so the survivors keep theirs.
+	without := make([]*Gateway, len(addrs))
+	for j := range addrs {
+		without[j] = &Gateway{}
+		for i, addr := range addrs {
+			if i != j {
+				without[j].reps = append(without[j].reps, newReplica(len(without[j].reps), addr))
+			}
+		}
+	}
+	const keys = 2048
+	owners := map[string]int{}
+	for k := uint64(0); k < keys; k++ {
+		o1, o2 := full.order(k), full.order(k)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("order not deterministic for key %d", k)
+			}
+		}
+		owner := o1[0]
+		owners[owner.addr]++
+		for j := range addrs {
+			got := without[j].order(k)[0].addr
+			if addrs[j] == owner.addr {
+				// The key's owner left: it must fall back to exactly its
+				// second choice in the full ordering.
+				if got != o1[1].addr {
+					t.Fatalf("key %d fell back to %s, want second choice %s", k, got, o1[1].addr)
+				}
+			} else if got != owner.addr {
+				// Some other replica left: this key must not move.
+				t.Fatalf("key %d moved from %s to %s when unrelated replica %s left",
+					k, owner.addr, got, addrs[j])
+			}
+		}
+	}
+	// Ownership should spread across all three replicas, roughly evenly.
+	if len(owners) != 3 {
+		t.Fatalf("expected 3 owners, got %v", owners)
+	}
+	for addr, n := range owners {
+		if n < keys/6 {
+			t.Errorf("replica %s owns only %d/%d keys — rendezvous is badly skewed", addr, n, keys)
+		}
+	}
+}
+
+// TestAffinityAndPassThrough drives real requests and checks that a
+// repeated row lands on exactly one replica and its response (headers
+// included) relays byte-for-byte.
+func TestAffinityAndPassThrough(t *testing.T) {
+	r1, r2 := newFakeReplica(t), newFakeReplica(t)
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour}, r1, r2)
+
+	body := predictBody("pd-lre", 1, 2, 3)
+	hit := map[string]int{}
+	for i := 0; i < 10; i++ {
+		rec := doPredict(t, g, body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("predict %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+		if got := rec.Body.String(); got != `{"model":"m","predictions":[1]}` {
+			t.Fatalf("body not relayed byte-for-byte: %q", got)
+		}
+		if route := rec.Header().Get(HeaderRoute); route != RoutePrimary {
+			t.Fatalf("expected primary route, got %q", route)
+		}
+		hit[rec.Header().Get(HeaderReplica)]++
+	}
+	if len(hit) != 1 {
+		t.Fatalf("one hot row hit %d replicas (%v); want exactly 1", len(hit), hit)
+	}
+	if r1.predicts.Load()+r2.predicts.Load() != 10 {
+		t.Fatalf("replicas saw %d+%d predicts, want 10 total", r1.predicts.Load(), r2.predicts.Load())
+	}
+}
+
+// TestReplicaStatusPassThrough pins that replica 4xx/5xx terminal
+// responses — including 429 backpressure with Retry-After — relay
+// unchanged rather than triggering gateway retries.
+func TestReplicaStatusPassThrough(t *testing.T) {
+	r1 := newFakeReplica(t)
+	r1.set(func(f *fakeReplica) {
+		f.status = http.StatusTooManyRequests
+		f.body = `{"error":"serve: admission queue full"}`
+	})
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour}, r1)
+
+	rec := doPredict(t, g, predictBody("m", 1))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q not passed through", ra)
+	}
+	if got := rec.Body.String(); got != `{"error":"serve: admission queue full"}` {
+		t.Fatalf("error body not relayed: %q", got)
+	}
+	if n := r1.predicts.Load(); n != 1 {
+		t.Fatalf("replica saw %d attempts, want 1 (no retry on HTTP status)", n)
+	}
+}
+
+// TestRetryOnDeadReplica kills the routed replica's server and checks
+// the request transparently lands on the survivor with route=retry.
+func TestRetryOnDeadReplica(t *testing.T) {
+	r1, r2 := newFakeReplica(t), newFakeReplica(t)
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour, FailThreshold: 100}, r1, r2)
+
+	// Find which replica owns this row, then kill it.
+	body := predictBody("m", 9, 9, 9)
+	rec := doPredict(t, g, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warmup failed: %d", rec.Code)
+	}
+	owner := rec.Header().Get(HeaderReplica)
+	for _, f := range []*fakeReplica{r1, r2} {
+		if f.addr() == owner {
+			f.srv.CloseClientConnections()
+			f.srv.Close()
+		}
+	}
+	rec = doPredict(t, g, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("predict after kill: status %d: %s", rec.Code, rec.Body)
+	}
+	if route := rec.Header().Get(HeaderRoute); route != RouteRetry {
+		t.Fatalf("route %q, want retry", route)
+	}
+	if got := rec.Header().Get(HeaderReplica); got == owner {
+		t.Fatalf("retry landed on the dead replica %s", got)
+	}
+	snap := g.MetricsRegistry().Snapshot()
+	if snap.Counters[obs.MetricGatewayRetries] == 0 {
+		t.Fatal("retry counter did not move")
+	}
+}
+
+// TestHedgeFirstResponseWins stalls the primary long enough that the
+// hedge answers first, and checks the hedge's response wins.
+func TestHedgeFirstResponseWins(t *testing.T) {
+	r1, r2 := newFakeReplica(t), newFakeReplica(t)
+	g := newTestGateway(t, Config{
+		ProbeInterval: time.Hour,
+		HedgeDelay:    20 * time.Millisecond,
+	}, r1, r2)
+
+	// Stall both, then un-stall whichever is NOT the owner so the hedge
+	// target answers instantly while the primary sleeps.
+	body := predictBody("m", 5, 5)
+	owner := doPredict(t, g, body).Header().Get(HeaderReplica)
+	for _, f := range []*fakeReplica{r1, r2} {
+		if f.addr() == owner {
+			f.set(func(x *fakeReplica) { x.stall = 400 * time.Millisecond })
+		}
+	}
+	start := time.Now()
+	rec := doPredict(t, g, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("hedged predict: status %d: %s", rec.Code, rec.Body)
+	}
+	if route := rec.Header().Get(HeaderRoute); route != RouteHedge {
+		t.Fatalf("route %q, want hedge", route)
+	}
+	if rep := rec.Header().Get(HeaderReplica); rep == owner {
+		t.Fatalf("winning replica %s is the stalled primary", rep)
+	}
+	if elapsed := time.Since(start); elapsed >= 400*time.Millisecond {
+		t.Fatalf("hedge did not cut tail latency: took %v", elapsed)
+	}
+	snap := g.MetricsRegistry().Snapshot()
+	if snap.Counters[obs.MetricGatewayHedges] == 0 || snap.Counters[obs.MetricGatewayHedgeWins] == 0 {
+		t.Fatalf("hedge counters did not move: %+v", snap.Counters)
+	}
+}
+
+// TestEjectAndReadmit drives the health-state machine end to end with
+// active probes: a failing replica is ejected (and takes no traffic),
+// then readmitted once probes succeed again.
+func TestEjectAndReadmit(t *testing.T) {
+	r1, r2 := newFakeReplica(t), newFakeReplica(t)
+	g := newTestGateway(t, Config{
+		ProbeInterval:    5 * time.Millisecond,
+		FailThreshold:    2,
+		ReadmitThreshold: 2,
+		MaxProbeBackoff:  10 * time.Millisecond,
+	}, r1, r2)
+
+	r1.set(func(f *fakeReplica) { f.healthy = false })
+	deadline := time.Now().Add(5 * time.Second)
+	var ejected *replica
+	for _, rep := range g.reps {
+		if rep.addr == r1.addr() {
+			ejected = rep
+		}
+	}
+	for ejected.isHealthy() {
+		if time.Now().After(deadline) {
+			t.Fatal("replica was never ejected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// While ejected, every request routes to the survivor.
+	for i := 0; i < 8; i++ {
+		rec := doPredict(t, g, predictBody("m", float64(i)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("predict during ejection: %d", rec.Code)
+		}
+		if rep := rec.Header().Get(HeaderReplica); rep != r2.addr() {
+			t.Fatalf("request hit ejected replica %s", rep)
+		}
+	}
+	r1.set(func(f *fakeReplica) { f.healthy = true })
+	for !ejected.isHealthy() {
+		if time.Now().After(deadline) {
+			t.Fatal("replica was never readmitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rep := g.Report()
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if rep.Ejects == 0 || rep.Readmits == 0 {
+		t.Fatalf("transitions not recorded: %d ejects %d readmits", rep.Ejects, rep.Readmits)
+	}
+}
+
+// TestGatewayShedsAtCap fills the single replica's in-flight budget
+// with stalled requests and checks the overflow request sheds 429 with
+// Retry-After at the gateway.
+func TestGatewayShedsAtCap(t *testing.T) {
+	r1 := newFakeReplica(t)
+	r1.set(func(f *fakeReplica) { f.stall = 300 * time.Millisecond })
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour, MaxInFlight: 2}, r1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doPredict(t, g, predictBody("m", 1))
+		}()
+	}
+	// Wait until both stalled requests occupy their slots.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.reps[0].inflight.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled requests never occupied the in-flight slots")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rec := doPredict(t, g, predictBody("m", 1))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow request got %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("gateway shed carries no Retry-After")
+	}
+	wg.Wait()
+	snap := g.MetricsRegistry().Snapshot()
+	if snap.Counters[obs.MetricGatewayShed] == 0 {
+		t.Fatal("shed counter did not move")
+	}
+}
+
+// TestMalformedBodyForwards pins that a body the gateway cannot key
+// still reaches a replica (which owns the authoritative 4xx) instead of
+// being answered by the gateway.
+func TestMalformedBodyForwards(t *testing.T) {
+	r1 := newFakeReplica(t)
+	r1.set(func(f *fakeReplica) {
+		f.status = http.StatusBadRequest
+		f.body = `{"error":"serve: predict request has no model"}`
+	})
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour}, r1)
+
+	rec := doPredict(t, g, `{"rows":[[1]]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want replica's 400", rec.Code)
+	}
+	if got := rec.Body.String(); got != `{"error":"serve: predict request has no model"}` {
+		t.Fatalf("replica error not relayed: %q", got)
+	}
+	if r1.predicts.Load() != 1 {
+		t.Fatal("malformed body never reached the replica")
+	}
+}
+
+// TestDrainRefusesNewWork checks Close's drain contract: after Close,
+// new predicts get 503 and Close has waited for in-flight work.
+func TestDrainRefusesNewWork(t *testing.T) {
+	r1 := newFakeReplica(t)
+	r1.set(func(f *fakeReplica) { f.stall = 100 * time.Millisecond })
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour}, r1)
+
+	done := make(chan int, 1)
+	go func() {
+		done <- doPredict(t, g, predictBody("m", 1)).Code
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.reps[0].inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight request never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.Close() // must wait for the stalled request
+	select {
+	case code := <-done:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight request during drain got %d, want 200", code)
+		}
+	default:
+		t.Fatal("Close returned before the in-flight request finished")
+	}
+	rec := doPredict(t, g, predictBody("m", 1))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain predict got %d, want 503", rec.Code)
+	}
+}
+
+// TestAllReplicasDown pins the terminal failure modes: transport
+// failure on every replica yields 502; zero healthy replicas yields 503.
+func TestAllReplicasDown(t *testing.T) {
+	r1 := newFakeReplica(t)
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour, FailThreshold: 100}, r1)
+	r1.srv.CloseClientConnections()
+	r1.srv.Close()
+
+	rec := doPredict(t, g, predictBody("m", 1))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("all-transport-failed got %d, want 502", rec.Code)
+	}
+
+	// Now eject it and check the 503 path.
+	g.reps[0].mu.Lock()
+	g.ejectLocked(g.reps[0])
+	g.reps[0].mu.Unlock()
+	rec = doPredict(t, g, predictBody("m", 1))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("no-healthy-replicas got %d, want 503", rec.Code)
+	}
+}
+
+// TestGatewayFaultPoints exercises the three injected gateway faults:
+// a route fault answers 503 without touching a replica, a hedge fault
+// suppresses the hedge, and a probe fault ejects a healthy replica.
+func TestGatewayFaultPoints(t *testing.T) {
+	t.Run("route", func(t *testing.T) {
+		restore := faultinject.Activate(faultinject.New(1, map[faultinject.Point]faultinject.Plan{
+			faultinject.GatewayRoute: {Every: 1, Err: context.DeadlineExceeded},
+		}))
+		defer restore()
+		r1 := newFakeReplica(t)
+		g := newTestGateway(t, Config{ProbeInterval: time.Hour}, r1)
+		rec := doPredict(t, g, predictBody("m", 1))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("route fault got %d, want 503", rec.Code)
+		}
+		if r1.predicts.Load() != 0 {
+			t.Fatal("route fault still consumed replica capacity")
+		}
+		if g.MetricsRegistry().Snapshot().Counters[obs.MetricGatewayFaults] == 0 {
+			t.Fatal("fault counter did not move")
+		}
+	})
+	t.Run("hedge suppressed", func(t *testing.T) {
+		restore := faultinject.Activate(faultinject.New(1, map[faultinject.Point]faultinject.Plan{
+			faultinject.GatewayHedge: {Every: 1, Err: context.DeadlineExceeded},
+		}))
+		defer restore()
+		r1, r2 := newFakeReplica(t), newFakeReplica(t)
+		r1.set(func(f *fakeReplica) { f.stall = 80 * time.Millisecond })
+		r2.set(func(f *fakeReplica) { f.stall = 80 * time.Millisecond })
+		g := newTestGateway(t, Config{ProbeInterval: time.Hour, HedgeDelay: 10 * time.Millisecond}, r1, r2)
+		rec := doPredict(t, g, predictBody("m", 1))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("predict got %d", rec.Code)
+		}
+		if rec.Header().Get(HeaderRoute) != RoutePrimary {
+			t.Fatal("suppressed hedge still won")
+		}
+		if r1.predicts.Load()+r2.predicts.Load() != 1 {
+			t.Fatal("suppressed hedge still launched an attempt")
+		}
+	})
+	t.Run("probe fault ejects", func(t *testing.T) {
+		restore := faultinject.Activate(faultinject.New(1, map[faultinject.Point]faultinject.Plan{
+			faultinject.GatewayHealthProbe: {Every: 1, Err: context.DeadlineExceeded},
+		}))
+		defer restore()
+		r1 := newFakeReplica(t)
+		g := newTestGateway(t, Config{
+			ProbeInterval: 2 * time.Millisecond, FailThreshold: 2, MaxProbeBackoff: 5 * time.Millisecond,
+		}, r1)
+		deadline := time.Now().Add(5 * time.Second)
+		for g.reps[0].isHealthy() {
+			if time.Now().After(deadline) {
+				t.Fatal("probe faults never ejected the replica")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if r1.probes.Load() != 0 {
+			t.Fatal("injected probe fault still hit the replica's /healthz")
+		}
+	})
+}
+
+// TestReloadFanout checks /admin/reload reaches every replica and a
+// partial failure reports 500 with per-replica detail.
+func TestReloadFanout(t *testing.T) {
+	ok := newFakeReplica(t)
+	bad := newFakeReplica(t)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/admin/reload", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"generation":4,"models":["m"]}`)
+	})
+	ok.srv.Config.Handler = mux
+	badMux := http.NewServeMux()
+	badMux.HandleFunc("/admin/reload", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"serve: reload failed"}`)
+	})
+	bad.srv.Config.Handler = badMux
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour}, ok, bad)
+
+	req := httptest.NewRequest(http.MethodPost, "/admin/reload", nil)
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("partial reload got %d, want 500", rec.Code)
+	}
+	var fan ReloadFanout
+	if err := json.Unmarshal(rec.Body.Bytes(), &fan); err != nil {
+		t.Fatalf("decoding fan-out: %v", err)
+	}
+	if fan.OK || len(fan.Replicas) != 2 {
+		t.Fatalf("unexpected fan-out: %+v", fan)
+	}
+	for _, r := range fan.Replicas {
+		switch r.Addr {
+		case ok.addr():
+			if r.Generation != 4 || r.Error != "" {
+				t.Fatalf("healthy replica result: %+v", r)
+			}
+		case bad.addr():
+			if r.Error != "serve: reload failed" {
+				t.Fatalf("failed replica result: %+v", r)
+			}
+		}
+	}
+}
+
+// TestConfigValidation pins constructor errors.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero replicas")
+	}
+	if _, err := New(Config{Replicas: []string{"a:1", "a:1"}}); err == nil {
+		t.Error("New accepted duplicate replicas")
+	}
+	if _, err := New(Config{Replicas: []string{""}}); err == nil {
+		t.Error("New accepted an empty replica address")
+	}
+}

@@ -1,0 +1,253 @@
+package loadtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"perfpred/internal/gateway"
+	"perfpred/internal/obs"
+	"perfpred/internal/serve"
+)
+
+// serveReplica is one in-process perfpredd replica inside a gateway
+// rig. The serve.Server (with its registry, batcher and prediction
+// cache) lives for the whole run; only the HTTP listener is killed and
+// rebound, which is exactly what a crashed-and-restarted process looks
+// like from the gateway's side of the wire while keeping the cache and
+// generation state a real warm restart would have to rebuild. (The
+// harness verifies bit-equivalence and generation bookkeeping, neither
+// of which a cold cache would change.)
+type serveReplica struct {
+	srv  *serve.Server
+	addr string // fixed host:port, stable across kill/restart
+
+	mu       sync.Mutex
+	hs       *http.Server
+	down     bool
+	serveErr chan error
+}
+
+// bind (re)binds the replica's listener on its fixed address and starts
+// serving. First call may pass addr ""; the bound address sticks.
+func (sr *serveReplica) bind() error {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	addr := sr.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("loadtest: binding replica %q: %w", addr, err)
+	}
+	sr.addr = ln.Addr().String()
+	sr.srv.SetAddr(sr.addr)
+	sr.hs = &http.Server{Handler: sr.srv.Handler()}
+	sr.serveErr = make(chan error, 1)
+	sr.down = false
+	hs := sr.hs
+	ch := sr.serveErr
+	go func() { ch <- hs.Serve(ln) }()
+	return nil
+}
+
+// kill force-closes the replica's listener and every open connection —
+// a process crash as seen from the network. The serve.Server survives.
+func (sr *serveReplica) kill() {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.down || sr.hs == nil {
+		return
+	}
+	sr.down = true
+	sr.hs.Close() //nolint:errcheck // force-close is the point
+	<-sr.serveErr // reap the Serve goroutine
+}
+
+// stop gracefully drains the replica's HTTP surface (end-of-run
+// teardown, not crash simulation).
+func (sr *serveReplica) stop(ctx context.Context) error {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.down || sr.hs == nil {
+		return nil
+	}
+	sr.down = true
+	if err := sr.hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	err := <-sr.serveErr
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// gatewayRig is the replicated topology of a gateway-mode run: N
+// in-process replicas behind one Gateway, plus the kill/restart
+// choreography and the per-replica reload bookkeeping the invariant
+// checks need.
+type gatewayRig struct {
+	reps    []*serveReplica
+	gw      *gateway.Gateway
+	gwHS    *http.Server
+	gwErr   chan error
+	baseURL string
+
+	mu       sync.Mutex
+	reloadOK map[string]int // successful reloads per replica addr
+	kills    int
+	restarts int
+
+	stopKill chan struct{}
+	killWG   sync.WaitGroup
+}
+
+// startGatewayRig boots n replicas over the shared models dir and one
+// gateway fronting them. Faults must already be armed: the servers and
+// the gateway snapshot the active injector at construction.
+func startGatewayRig(cfg Config, dir string, n int) (*gatewayRig, error) {
+	rig := &gatewayRig{
+		reloadOK: map[string]int{},
+		stopKill: make(chan struct{}),
+	}
+	fail := func(err error) (*gatewayRig, error) {
+		rig.teardown() //nolint:errcheck // already failing
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		srv, err := serve.New(serve.Config{
+			ModelsDir:      dir,
+			RequestTimeout: cfg.RequestTimeout,
+			Batcher: serve.BatcherConfig{
+				QueueDepth: 8,
+				MaxBatch:   8,
+				MaxWait:    200 * time.Microsecond,
+				Workers:    2,
+			},
+			CacheEntries: cfg.CacheEntries,
+			Metrics:      obs.NewRegistry(),
+		})
+		if err != nil {
+			return fail(fmt.Errorf("loadtest: starting replica %d: %w", i, err))
+		}
+		sr := &serveReplica{srv: srv}
+		rig.reps = append(rig.reps, sr)
+		if err := sr.bind(); err != nil {
+			return fail(err)
+		}
+	}
+	addrs := make([]string, len(rig.reps))
+	for i, sr := range rig.reps {
+		addrs[i] = sr.addr
+	}
+	gw, err := gateway.New(gateway.Config{
+		Replicas: addrs,
+		// Probe fast enough that a killed replica ejects (and a
+		// restarted one readmits) well inside the schedule horizon, but
+		// slow enough that a few requests land on the corpse first and
+		// exercise the transparent-retry path.
+		ProbeInterval:    25 * time.Millisecond,
+		ProbeTimeout:     250 * time.Millisecond,
+		FailThreshold:    2,
+		ReadmitThreshold: 2,
+		MaxProbeBackoff:  100 * time.Millisecond,
+		MaxInFlight:      2 * cfg.Workers,
+		HedgeDelay:       10 * time.Millisecond,
+		RequestTimeout:   5 * time.Second,
+		Metrics:          obs.NewRegistry(),
+	})
+	if err != nil {
+		return fail(err)
+	}
+	rig.gw = gw
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	gw.SetAddr(ln.Addr().String())
+	rig.baseURL = "http://" + ln.Addr().String()
+	rig.gwHS = &http.Server{Handler: gw.Handler()}
+	rig.gwErr = make(chan error, 1)
+	go func() { rig.gwErr <- rig.gwHS.Serve(ln) }()
+	return rig, nil
+}
+
+// scheduleKill arranges one replica crash at ~35% of the horizon and
+// its restart at ~65%, picking the victim deterministically from the
+// seed. The stopKill channel aborts the choreography at teardown.
+func (rig *gatewayRig) scheduleKill(seed int64, horizon time.Duration) {
+	victim := rig.reps[int(uint64(seed)%uint64(len(rig.reps)))]
+	killAt := horizon * 35 / 100
+	restartAt := horizon * 65 / 100
+	rig.killWG.Add(1)
+	go func() {
+		defer rig.killWG.Done()
+		select {
+		case <-rig.stopKill:
+			return
+		case <-time.After(killAt):
+		}
+		victim.kill()
+		rig.mu.Lock()
+		rig.kills++
+		rig.mu.Unlock()
+		select {
+		case <-rig.stopKill:
+			return
+		case <-time.After(restartAt - killAt):
+		}
+		if err := victim.bind(); err == nil {
+			rig.mu.Lock()
+			rig.restarts++
+			rig.mu.Unlock()
+		}
+	}()
+}
+
+// noteReload folds one reload fan-out result into the per-replica
+// success census.
+func (rig *gatewayRig) noteReload(fan *gateway.ReloadFanout) {
+	rig.mu.Lock()
+	defer rig.mu.Unlock()
+	for _, r := range fan.Replicas {
+		if r.Error == "" {
+			rig.reloadOK[r.Addr]++
+		}
+	}
+}
+
+// teardown drains the rig in dependency order — gateway HTTP surface,
+// gateway probes/in-flight, then each replica's HTTP surface, batcher
+// and server — mirroring the SIGTERM contract of the real two-tier
+// topology. Safe on a partially constructed rig.
+func (rig *gatewayRig) teardown() error {
+	close(rig.stopKill)
+	rig.killWG.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var first error
+	if rig.gwHS != nil {
+		if err := rig.gwHS.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+		if err := <-rig.gwErr; err != nil && !errors.Is(err, http.ErrServerClosed) && first == nil {
+			first = err
+		}
+	}
+	if rig.gw != nil {
+		rig.gw.Close()
+	}
+	for _, sr := range rig.reps {
+		if err := sr.stop(ctx); err != nil && first == nil {
+			first = err
+		}
+		sr.srv.Close()
+	}
+	return first
+}

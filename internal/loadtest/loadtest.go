@@ -38,6 +38,7 @@ import (
 
 	"perfpred/internal/dataset"
 	"perfpred/internal/faultinject"
+	"perfpred/internal/gateway"
 	"perfpred/internal/obs"
 	"perfpred/internal/serve"
 )
@@ -73,8 +74,26 @@ type Config struct {
 	// generation-boundary epilogue: retrain one model, swap its
 	// artifact, reload, and re-probe the hot rows against goldens scored
 	// from the new artifact — a cache hit crossing the reload boundary
-	// cannot survive it.
+	// cannot survive it. (Gateway-mode runs skip the epilogue — it
+	// drives Server.Reload directly, which has no equivalent through the
+	// front tier — but keep all cache accounting checks per replica.)
 	CacheEntries int
+	// GatewayReplicas, when ≥ 2, runs the replicated topology instead of
+	// a single daemon: that many in-process replicas behind an
+	// internal/gateway front tier, with the schedule replayed against
+	// the gateway. Adds the gateway invariants: responses still bit-match
+	// offline scoring, hot single-row requests land on exactly one
+	// replica (cache affinity), per-replica generations track each
+	// replica's own successful reloads, and the shed/hedge/retry
+	// accounting reconciles with what clients observed on the wire.
+	GatewayReplicas int
+	// ReplicaKill (gateway mode only) kills one seed-chosen replica's
+	// listener at ~35% of the horizon and restarts it at ~65%, verifying
+	// no request is lost across the crash: the gateway must eject the
+	// replica, retry its in-flight work on survivors, and readmit it
+	// after restart. Affinity is then allowed to spread to at most two
+	// replicas per key (the home and its rendezvous fallback).
+	ReplicaKill bool
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -114,6 +133,7 @@ var (
 	errInjectedAdmit    = errors.New("loadtest: injected admission fault")
 	errInjectedReload   = errors.New("loadtest: injected reload fault")
 	errInjectedArtifact = errors.New("loadtest: injected artifact-read fault")
+	errInjectedHedge    = errors.New("loadtest: injected hedge suppression")
 )
 
 // chaosPlans are the fault plans a Faults run arms. Deterministic Every
@@ -131,14 +151,31 @@ var (
 // race rows already probed — the cache must absorb the stall without
 // changing a single bit. (Forced *errors* at that point take the
 // fail-open bypass and are pinned by the serve tests instead.)
-func chaosPlans(requestTimeout time.Duration) map[faultinject.Point]faultinject.Plan {
-	return map[faultinject.Point]faultinject.Plan{
+// Gateway-mode chaos additionally arms the front-tier points with
+// client-invisible faults: routing latency jitter and suppressed
+// hedges. (Forced routing errors and probe-driven ejection are pinned
+// by the gateway unit tests; in chaos runs real ejection comes from the
+// kill/restart choreography, so the affinity invariant stays sharp.)
+func chaosPlans(requestTimeout time.Duration, replicas int) map[faultinject.Point]faultinject.Plan {
+	// Artifact-read faults must start beyond the initial catalog loads
+	// (3 fixture models per daemon) so every daemon boots; with N
+	// replicas sharing one injector that floor scales to 3N.
+	artifactEvery := uint64(7)
+	if replicas > 0 {
+		artifactEvery = uint64(3*replicas) + 4
+	}
+	plans := map[faultinject.Point]faultinject.Plan{
 		faultinject.ServeBatchFlush:  {Every: 4, Latency: requestTimeout + requestTimeout/2},
 		faultinject.ServeAdmit:       {Prob: 0.04, Err: errInjectedAdmit},
 		faultinject.ServeReload:      {Every: 3, Err: errInjectedReload},
-		faultinject.CoreArtifactLoad: {Every: 7, Err: errInjectedArtifact},
+		faultinject.CoreArtifactLoad: {Every: artifactEvery, Err: errInjectedArtifact},
 		faultinject.ServeCacheLookup: {Every: 6, Latency: 3 * time.Millisecond},
 	}
+	if replicas > 0 {
+		plans[faultinject.GatewayRoute] = faultinject.Plan{Every: 31, Latency: time.Millisecond}
+		plans[faultinject.GatewayHedge] = faultinject.Plan{Every: 3, Err: errInjectedHedge}
+	}
+	return plans
 }
 
 // outcome is the terminal result of one scheduled event.
@@ -149,14 +186,18 @@ type outcome struct {
 	err      string
 	preds    []float64 // parsed predictions for 200s
 	gen      int64     // reload events: resulting generation
+	replica  string    // gateway mode: X-Perfpred-Replica of the winner
+	route    string    // gateway mode: X-Perfpred-Route of the winner
 }
 
-// harness is one run's live state.
+// harness is one run's live state. Exactly one of srv (single-daemon
+// mode) and gw (gateway mode) is non-nil.
 type harness struct {
 	cfg    Config
 	fx     *fixture
 	schema *dataset.Schema
 	srv    *serve.Server
+	gw     *gatewayRig
 	base   string
 	client *http.Client
 	sched  *Schedule
@@ -164,6 +205,7 @@ type harness struct {
 
 	mu                sync.Mutex
 	gens              []int64
+	gwGens            map[string][]int64 // gateway mode: generations per replica
 	catalogViolations []string
 
 	// epi and epiViolations record the cache generation-boundary
@@ -178,6 +220,12 @@ type harness struct {
 // callers can persist the full evidence before failing.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	if cfg.GatewayReplicas == 1 {
+		return nil, errors.New("loadtest: gateway mode needs at least 2 replicas")
+	}
+	if cfg.ReplicaKill && cfg.GatewayReplicas < 2 {
+		return nil, errors.New("loadtest: ReplicaKill requires gateway mode (GatewayReplicas ≥ 2)")
+	}
 	start := time.Now()
 
 	dir, err := os.MkdirTemp("", "perfpredload-*")
@@ -198,14 +246,32 @@ func Run(cfg Config) (*Report, error) {
 
 	sched := BuildSchedule(cfg.Seed, cfg.Requests, cfg.Duration, fx.models, len(fx.rows))
 
-	// Arm faults before constructing the daemon: the batcher and server
-	// snapshot the active injector (and its clock) at construction.
+	// Arm faults before constructing the daemon(s) and gateway: batcher,
+	// server and gateway snapshot the active injector (and its clock) at
+	// construction.
 	var inj *faultinject.Injector
 	if cfg.Faults {
-		inj = faultinject.New(cfg.Seed, chaosPlans(cfg.RequestTimeout),
+		inj = faultinject.New(cfg.Seed, chaosPlans(cfg.RequestTimeout, cfg.GatewayReplicas),
 			faultinject.WithClockSkew(300*time.Millisecond, 500*time.Microsecond))
 		restore := faultinject.Activate(inj)
 		defer restore()
+	}
+
+	h := &harness{
+		cfg:    cfg,
+		fx:     fx,
+		schema: schema,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.Workers * 2,
+			MaxIdleConnsPerHost: cfg.Workers * 2,
+		}},
+		sched:  sched,
+		outs:   make([]outcome, len(sched.Events)),
+		gwGens: map[string][]int64{},
+	}
+
+	if cfg.GatewayReplicas > 0 {
+		return h.runGatewayMode(dir, inj, start)
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -233,19 +299,8 @@ func Run(cfg Config) (*Report, error) {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
-	h := &harness{
-		cfg:    cfg,
-		fx:     fx,
-		schema: schema,
-		srv:    srv,
-		base:   "http://" + ln.Addr().String(),
-		client: &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        cfg.Workers * 2,
-			MaxIdleConnsPerHost: cfg.Workers * 2,
-		}},
-		sched: sched,
-		outs:  make([]outcome, len(sched.Events)),
-	}
+	h.srv = srv
+	h.base = "http://" + ln.Addr().String()
 
 	cfg.logf("replaying %d events over %v against %s", len(sched.Events), cfg.Duration, h.base)
 	pollDone := make(chan struct{})
@@ -279,6 +334,38 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// runGatewayMode replays the schedule against the replicated topology:
+// GatewayReplicas in-process daemons behind an internal/gateway front
+// tier, optionally with the kill/restart choreography running.
+func (h *harness) runGatewayMode(dir string, inj *faultinject.Injector, start time.Time) (*Report, error) {
+	cfg := h.cfg
+	rig, err := startGatewayRig(cfg, dir, cfg.GatewayReplicas)
+	if err != nil {
+		return nil, err
+	}
+	h.gw = rig
+	h.base = rig.baseURL
+	if cfg.ReplicaKill {
+		rig.scheduleKill(cfg.Seed, cfg.Duration)
+	}
+
+	cfg.logf("replaying %d events over %v against gateway %s (%d replicas, kill=%v)",
+		len(h.sched.Events), cfg.Duration, h.base, cfg.GatewayReplicas, cfg.ReplicaKill)
+	pollDone := make(chan struct{})
+	go h.pollCatalog(pollDone)
+	h.replay()
+	close(pollDone)
+
+	// Drain the whole tier (gateway first, then replicas); reports are
+	// snapshotted after the drain so every counter has settled.
+	if err := rig.teardown(); err != nil {
+		return nil, fmt.Errorf("loadtest: gateway teardown: %w", err)
+	}
+	rep := h.buildReport(nil, inj, time.Since(start))
+	cfg.logf("run complete: %d violations", len(rep.Violations))
+	return rep, nil
+}
+
 // replay dispatches every scheduled event at its offset, bounded by
 // cfg.Workers concurrent in-flight calls, and waits for all outcomes.
 func (h *harness) replay() {
@@ -306,9 +393,29 @@ func (h *harness) replay() {
 }
 
 // runReload executes one reload event — via the admin endpoint or the
-// direct Server.Reload path the SIGHUP handler uses.
+// direct Server.Reload path the SIGHUP handler uses. In gateway mode
+// every reload goes through the gateway's fan-out endpoint (there is no
+// direct path to a replica's Server), and the per-replica outcomes feed
+// the generation bookkeeping.
 func (h *harness) runReload(ev Event) outcome {
 	out := outcome{ev: ev}
+	if h.gw != nil {
+		resp, err := h.client.Post(h.base+"/admin/reload", "application/json", nil)
+		if err != nil {
+			out.err = err.Error()
+			return out
+		}
+		defer resp.Body.Close()
+		out.status = resp.StatusCode
+		var fan gateway.ReloadFanout
+		if err := json.NewDecoder(resp.Body).Decode(&fan); err != nil {
+			out.err = "decoding reload fan-out: " + err.Error()
+			out.status = 0
+			return out
+		}
+		h.gw.noteReload(&fan)
+		return out
+	}
 	if !ev.AdminHTTP {
 		gen, err := h.srv.Reload()
 		out.gen = gen
@@ -371,6 +478,8 @@ func (h *harness) runPredict(ev Event) outcome {
 	}
 	defer resp.Body.Close()
 	out.status = resp.StatusCode
+	out.replica = resp.Header.Get(gateway.HeaderReplica)
+	out.route = resp.Header.Get(gateway.HeaderRoute)
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
 		return out
@@ -432,6 +541,14 @@ func (h *harness) pollCatalog(done <-chan struct{}) {
 		if err != nil {
 			continue // transient during shutdown races; replay gating prevents real loss
 		}
+		if resp.StatusCode != http.StatusOK {
+			// Gateway mode: a 502 while a killed replica is being ejected
+			// is transport weather, not catalog state.
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			continue
+		}
+		replica := resp.Header.Get(gateway.HeaderReplica)
 		var mr serve.ModelsResponse
 		err = json.NewDecoder(resp.Body).Decode(&mr)
 		resp.Body.Close()
@@ -443,7 +560,13 @@ func (h *harness) pollCatalog(done <-chan struct{}) {
 			names[i] = m.Name
 		}
 		h.mu.Lock()
-		h.gens = append(h.gens, mr.Generation)
+		if h.gw != nil {
+			// Generations are per replica: replicas reload independently,
+			// so monotonicity only holds within one replica's sequence.
+			h.gwGens[replica] = append(h.gwGens[replica], mr.Generation)
+		} else {
+			h.gens = append(h.gens, mr.Generation)
+		}
 		if !equalStrings(names, h.fx.models) {
 			h.catalogViolations = append(h.catalogViolations,
 				fmt.Sprintf("catalog at generation %d served %v, want %v", mr.Generation, names, h.fx.models))

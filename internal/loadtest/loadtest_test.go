@@ -226,3 +226,114 @@ func TestGoldenScoringZeroAlloc(t *testing.T) {
 		}
 	}
 }
+
+// TestGatewayCleanRun replays a schedule through the gateway over two
+// clean replicas with caches armed: bit-exact responses, perfect cache
+// affinity (every hot key on exactly one replica), zero ejections, and
+// per-replica generation/shed/cache accounting that reconciles.
+func TestGatewayCleanRun(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:            11,
+		Duration:        900 * time.Millisecond,
+		Faults:          false,
+		CacheEntries:    2048,
+		GatewayReplicas: 2,
+		Logf:            logf(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failReport(t, rep)
+	if rep.Gateway == nil || len(rep.ServeReplicas) != 2 {
+		t.Fatalf("gateway-mode report incomplete: gateway=%v replicas=%d", rep.Gateway != nil, len(rep.ServeReplicas))
+	}
+	if rep.Gateway.FaultsInjected != 0 {
+		t.Errorf("faults disabled but %d gateway faults fired", rep.Gateway.FaultsInjected)
+	}
+	if rep.BitCompared == 0 || rep.BitMismatches != 0 {
+		t.Errorf("bit comparison: %d compared, %d mismatched", rep.BitCompared, rep.BitMismatches)
+	}
+	if rep.AffinityKeys == 0 || rep.AffinityMaxSpread != 1 {
+		t.Errorf("cache affinity not perfect: %d keys, max spread %d (want 1)",
+			rep.AffinityKeys, rep.AffinityMaxSpread)
+	}
+	var hits int64
+	for _, sr := range rep.ServeReplicas {
+		hits += sr.Cache.Hits
+	}
+	if hits == 0 {
+		t.Error("cache-armed gateway run recorded no replica cache hits")
+	}
+}
+
+// TestGatewayChaosKillRestart is the gateway acceptance scenario: a
+// seeded chaos run through the gateway over three replicas with the
+// serving fault plans armed AND one replica killed mid-schedule and
+// restarted — no request may be lost, every 200 stays bit-identical to
+// offline scoring, the gateway must eject and readmit the crashed
+// replica, and affinity may spread to at most two replicas per key.
+func TestGatewayChaosKillRestart(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:            7,
+		Duration:        1500 * time.Millisecond,
+		Faults:          true,
+		CacheEntries:    2048,
+		GatewayReplicas: 3,
+		ReplicaKill:     true,
+		Logf:            logf(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failReport(t, rep)
+	if rep.ReplicaKills != 1 || rep.ReplicaRestarts != 1 {
+		t.Fatalf("kill choreography: %d kills, %d restarts", rep.ReplicaKills, rep.ReplicaRestarts)
+	}
+	if rep.Gateway.Ejects == 0 || rep.Gateway.Readmits == 0 {
+		t.Errorf("health machine never cycled: %d ejects, %d readmits", rep.Gateway.Ejects, rep.Gateway.Readmits)
+	}
+	t.Logf("gateway counters: requests=%d hedges=%d hedgeWins=%d retries=%d shed=%d errors=%d ejects=%d readmits=%d",
+		rep.Gateway.Requests, rep.Gateway.Hedges, rep.Gateway.HedgeWins, rep.Gateway.Retries,
+		rep.Gateway.Shed, rep.Gateway.Errors, rep.Gateway.Ejects, rep.Gateway.Readmits)
+	for _, rr := range rep.Gateway.Replicas {
+		t.Logf("  replica %s: healthy=%v requests=%d transportErrs=%d ejects=%d readmits=%d probes=%d probeFails=%d",
+			rr.Addr, rr.Healthy, rr.Requests, rr.TransportErrors, rr.Ejects, rr.Readmits, rr.Probes, rr.ProbeFailures)
+	}
+	// Whether a predict lands on the corpse before probes eject it is
+	// timing-dependent (the pre-ejection window is ~2 probe intervals),
+	// so transparent retries cannot be asserted here — the gateway's
+	// TestRetryOnDeadReplica pins that mechanism deterministically.
+	// What IS deterministic: the ~450ms dead window spans many probe
+	// intervals, so the crash must have left a trace on the victim.
+	var crashObserved bool
+	for _, rr := range rep.Gateway.Replicas {
+		if rr.ProbeFailures > 0 || rr.TransportErrors > 0 {
+			crashObserved = true
+		}
+	}
+	if !crashObserved && rep.Gateway.Retries == 0 {
+		t.Error("kill/restart left no trace on any replica (no probe failures, transport errors, or retries)")
+	}
+	if rep.Gateway.FaultsInjected == 0 {
+		t.Error("no gateway-path faults fired")
+	}
+	if rep.BitCompared == 0 {
+		t.Error("no successful predictions were bit-compared against offline scoring")
+	}
+	if rep.BitMismatches != 0 {
+		t.Errorf("%d of %d predictions diverged from offline scoring", rep.BitMismatches, rep.BitCompared)
+	}
+	if rep.AffinityMaxSpread > 2 {
+		t.Errorf("affinity spread %d exceeds the kill allowance of 2", rep.AffinityMaxSpread)
+	}
+}
+
+// TestGatewayConfigValidation pins the gateway-mode config contract.
+func TestGatewayConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Seed: 1, GatewayReplicas: 1}); err == nil {
+		t.Error("Run accepted a single-replica gateway")
+	}
+	if _, err := Run(Config{Seed: 1, ReplicaKill: true}); err == nil {
+		t.Error("Run accepted ReplicaKill without gateway mode")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"perfpred/internal/faultinject"
+	"perfpred/internal/gateway"
 	"perfpred/internal/obs"
 )
 
@@ -60,8 +61,28 @@ type Report struct {
 	// when faults are disabled).
 	FaultStats map[string]faultinject.PointStats `json:"fault_stats,omitempty"`
 
-	// Serve is the daemon's own final report.
-	Serve *obs.ServeReport `json:"serve"`
+	// Serve is the daemon's own final report (nil in gateway mode — see
+	// ServeReplicas).
+	Serve *obs.ServeReport `json:"serve,omitempty"`
+
+	// Gateway-mode fields (GatewayReplicas > 0 in the run config).
+	// GatewayReplicas is the replica count behind the front tier.
+	GatewayReplicas int `json:"gateway_replicas,omitempty"`
+	// ReplicaKills / ReplicaRestarts count the kill choreography's
+	// completed crashes and rebinds.
+	ReplicaKills    int `json:"replica_kills,omitempty"`
+	ReplicaRestarts int `json:"replica_restarts,omitempty"`
+	// Gateway is the front tier's final report.
+	Gateway *obs.GatewayReport `json:"gateway,omitempty"`
+	// ServeReplicas are the per-replica final serve reports, in
+	// configuration order.
+	ServeReplicas []*obs.ServeReport `json:"serve_replicas,omitempty"`
+	// AffinityKeys counts distinct (model, row) keys observed on
+	// primary-routed single-row 200s; AffinityMaxSpread is the largest
+	// number of distinct replicas any one key landed on (1 = perfect
+	// cache affinity; 2 is allowed only across a kill/restart).
+	AffinityKeys      int `json:"affinity_keys,omitempty"`
+	AffinityMaxSpread int `json:"affinity_max_spread,omitempty"`
 
 	// Epilogue records the generation-boundary epilogue of a cache-armed
 	// run (nil when CacheEntries == 0).
@@ -133,26 +154,61 @@ func (h *harness) buildReport(sr *obs.ServeReport, inj *faultinject.Injector, el
 		h.checkPredict(rep, &v, out, &predictRows200, &admitted)
 	}
 
-	// Catalog invariants from the poller.
+	// Catalog invariants from the poller. In gateway mode each replica
+	// reloads independently, so monotonicity is judged per replica
+	// sequence (as split by the response's replica header), never across
+	// the interleaved stream.
 	h.mu.Lock()
 	gens, torn := h.gens, h.catalogViolations
+	gwGens := h.gwGens
 	h.mu.Unlock()
-	if len(gens) > 0 {
+	if h.gw != nil {
+		var first, last int64 = -1, -1
+		for addr, seq := range gwGens {
+			if len(seq) == 0 {
+				continue
+			}
+			if first < 0 {
+				first, last = seq[0], seq[len(seq)-1]
+			}
+			for i := 1; i < len(seq); i++ {
+				if seq[i] < seq[i-1] {
+					rep.GenerationRegressions++
+					v.addf("replica %s generation moved backwards: %d then %d", addr, seq[i-1], seq[i])
+				}
+			}
+		}
+		if first >= 0 {
+			rep.GenerationFirst, rep.GenerationLast = first, last
+		}
+	} else if len(gens) > 0 {
 		rep.GenerationFirst, rep.GenerationLast = gens[0], gens[len(gens)-1]
 		for i := 1; i < len(gens); i++ {
 			if gens[i] < gens[i-1] {
 				rep.GenerationRegressions++
 			}
 		}
-	}
-	if rep.GenerationRegressions > 0 {
-		v.addf("registry generation moved backwards %d time(s)", rep.GenerationRegressions)
+		if rep.GenerationRegressions > 0 {
+			v.addf("registry generation moved backwards %d time(s)", rep.GenerationRegressions)
+		}
 	}
 	for _, t := range torn {
 		v.addf("%s", t)
 	}
 	for _, s := range h.epiViolations {
 		v.addf("%s", s)
+	}
+
+	if h.gw != nil {
+		h.checkGatewayMode(rep, &v, predictRows200)
+		if v.dropped > 0 {
+			v.list = append(v.list, fmt.Sprintf("... and %d more violations", v.dropped))
+		}
+		rep.Violations = v.list
+		if rep.Violations == nil {
+			rep.Violations = []string{}
+		}
+		return rep
 	}
 
 	// ServeReport consistency.
@@ -234,7 +290,9 @@ func (h *harness) checkReload(rep *Report, v *violations, out *outcome) {
 		rep.Reloads.OK++
 	case out.status == 500:
 		rep.Reloads.Failed++
-		if !h.cfg.Faults {
+		// Gateway kill runs legitimately fail fan-outs while the killed
+		// replica is down; otherwise a failed reload needs armed faults.
+		if !h.cfg.Faults && !(h.gw != nil && h.cfg.ReplicaKill) {
 			v.addf("reload %d failed without faults armed: %s", out.ev.Seq, out.err)
 		}
 	default:
@@ -309,4 +367,159 @@ func expectedStatus(p PayloadKind) (status int, exact bool) {
 		return 404, true
 	}
 	return 0, false
+}
+
+// checkGatewayMode folds the replicated-topology invariants: a valid
+// gateway report, per-replica serve-report consistency (each replica's
+// generation tracks its own successful reloads), tier-wide shed
+// reconciliation against wire-observed 429s, cache accounting per
+// replica, the kill/restart choreography's health transitions, and
+// cache affinity — hot single-row requests landing on exactly one
+// replica (two across a kill).
+func (h *harness) checkGatewayMode(rep *Report, v *violations, predictRows200 int) {
+	rig := h.gw
+	gw := rig.gw.Report()
+	rep.GatewayReplicas = h.cfg.GatewayReplicas
+	rep.Gateway = gw
+	rig.mu.Lock()
+	rep.ReplicaKills, rep.ReplicaRestarts = rig.kills, rig.restarts
+	reloadOK := make(map[string]int, len(rig.reloadOK))
+	for addr, n := range rig.reloadOK {
+		reloadOK[addr] = n
+	}
+	rig.mu.Unlock()
+
+	if err := gw.Validate(); err != nil {
+		v.addf("final gateway report invalid: %v", err)
+	}
+	if !h.cfg.Faults && gw.FaultsInjected != 0 {
+		v.addf("faults disabled but %d gateway faults fired", gw.FaultsInjected)
+	}
+
+	var shedTotal, served, requests, faults int64
+	var lookups, hits, misses int64
+	for i, sr := range rig.reps {
+		r := sr.srv.Report()
+		rep.ServeReplicas = append(rep.ServeReplicas, r)
+		if err := r.Validate(); err != nil {
+			v.addf("replica %s final serve report invalid: %v", sr.addr, err)
+		}
+		// Each replica's generation is 1 (initial load) plus the reloads
+		// that replica itself acknowledged through the fan-out — a killed
+		// replica simply misses the reloads broadcast while it was down.
+		if want := 1 + int64(reloadOK[sr.addr]); r.Generation != want {
+			v.addf("replica %d (%s) generation %d, want %d (1 + its %d acknowledged reloads)",
+				i, sr.addr, r.Generation, want, reloadOK[sr.addr])
+		}
+		shedTotal += r.Shed
+		served += r.Predictions + r.Cache.Hits + r.Cache.Coalesced
+		requests += r.Requests
+		faults += r.FaultsInjected
+		lookups += r.Cache.Lookups
+		hits += r.Cache.Hits
+		misses += r.Cache.Misses
+		if h.cfg.CacheEntries > 0 {
+			if r.Cache.Hits+r.Cache.Misses != r.Cache.Lookups {
+				v.addf("replica %s cache hits(%d)+misses(%d) != lookups(%d)",
+					sr.addr, r.Cache.Hits, r.Cache.Misses, r.Cache.Lookups)
+			}
+			if r.Cache.Coalesced > r.Cache.Misses {
+				v.addf("replica %s cache coalesced %d exceeds misses %d", sr.addr, r.Cache.Coalesced, r.Cache.Misses)
+			}
+		} else if r.Cache != (obs.CacheStats{}) {
+			v.addf("replica %s cache disabled but its counters moved: %+v", sr.addr, r.Cache)
+		}
+	}
+	if !h.cfg.Faults && faults != 0 {
+		v.addf("faults disabled but %d replica faults fired", faults)
+	}
+
+	// Shed reconciliation across the tier. Every wire-observed 429 was
+	// counted by a replica's batcher or the gateway's in-flight cap; the
+	// converse allows slack for abandoned clients (the 429 was sent but
+	// never read) and losing hedge/retry attempts (their 429 lost the
+	// first-response race).
+	shedTotal += gw.Shed
+	observed := int64(rep.StatusCounts["429"])
+	if shedTotal < observed {
+		v.addf("tier shed %d but %d requests saw 429 — shed without telling the client", shedTotal, observed)
+	} else if slack := observed + int64(rep.ClientTimeouts) + gw.Hedges + gw.Retries; shedTotal > slack {
+		v.addf("tier shed %d exceeds %d observed 429s + %d client timeouts + %d hedges + %d retries",
+			shedTotal, observed, rep.ClientTimeouts, gw.Hedges, gw.Retries)
+	}
+	// Every row in a client-observed 200 was scored (or cache-served) by
+	// some replica; hedges/retries only add extra scoring, so ≥ holds.
+	if served < int64(predictRows200) {
+		v.addf("replicas served %d rows but clients saw %d rows in 200s", served, predictRows200)
+	}
+	if requests < int64(rep.StatusCounts["200"]) {
+		v.addf("replica requests %d < %d client-observed 200s", requests, rep.StatusCounts["200"])
+	}
+	if h.cfg.CacheEntries > 0 {
+		if lookups == 0 {
+			v.addf("caches armed (%d entries each) but no lookup ever reached them", h.cfg.CacheEntries)
+		} else if hits == 0 {
+			v.addf("duplicate-heavy schedule recorded zero cache hits across %d replica lookups", lookups)
+		}
+	}
+
+	// Kill choreography: the crash and rebind must both have happened,
+	// and the gateway must have seen them (eject on the crash, readmit
+	// after the rebind). Without a kill the clean topology must never
+	// eject anyone (chaos plans deliberately exclude probe faults).
+	if h.cfg.ReplicaKill {
+		if rep.ReplicaKills != 1 || rep.ReplicaRestarts != 1 {
+			v.addf("kill choreography incomplete: %d kills, %d restarts (want 1 and 1)",
+				rep.ReplicaKills, rep.ReplicaRestarts)
+		}
+		if gw.Ejects == 0 {
+			v.addf("replica was killed but the gateway never ejected it")
+		}
+		if gw.Readmits == 0 {
+			v.addf("replica was restarted but the gateway never readmitted it")
+		}
+	} else if gw.Ejects != 0 {
+		v.addf("no replica was killed but the gateway ejected %d time(s)", gw.Ejects)
+	}
+
+	// Cache affinity: all primary-routed single-row 200s of one
+	// (model, row) key must come from one replica — two across a
+	// kill/restart (the key's rendezvous fallback). Hedge and retry
+	// winners are excluded: they land elsewhere by design.
+	spread := map[string]map[string]bool{}
+	for i := range h.outs {
+		out := &h.outs[i]
+		ev := out.ev
+		if ev.Reload || out.status != 200 || !ev.Single || ev.Payload != PayloadOK {
+			continue
+		}
+		if out.route != gateway.RoutePrimary || out.replica == "" {
+			continue
+		}
+		key := fmt.Sprintf("%s/%d", ev.Model, ev.RowIdxs[0])
+		if spread[key] == nil {
+			spread[key] = map[string]bool{}
+		}
+		spread[key][out.replica] = true
+	}
+	allowed := 1
+	if h.cfg.ReplicaKill {
+		allowed = 2
+	}
+	rep.AffinityKeys = len(spread)
+	for key, reps := range spread {
+		if n := len(reps); n > rep.AffinityMaxSpread {
+			rep.AffinityMaxSpread = n
+		}
+		if len(reps) > allowed {
+			names := make([]string, 0, len(reps))
+			for r := range reps {
+				names = append(names, r)
+			}
+			v.addf("affinity broken: key %s landed on %d replicas %v (allowed %d)", key, len(reps), names, allowed)
+		}
+	}
+	if rep.AffinityKeys == 0 {
+		v.addf("no primary-routed single-row 200s observed — affinity invariant is vacuous")
+	}
 }

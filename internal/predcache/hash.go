@@ -43,3 +43,24 @@ func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
+
+// HashString hashes a label (a model name, a replica address) into the
+// same keyspace HashRow uses — FNV-1a over the bytes, then the splitmix64
+// avalanche so short strings still spread across the full 64 bits. The
+// gateway keys its rendezvous routing with it.
+func HashString(s string) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * hashPrime
+	}
+	return mix64(h)
+}
+
+// Combine folds h into acc with the same mix-XOR-multiply step HashRow
+// applies per cell, so with acc fixed the result is a bijective function
+// of h (and vice versa). Callers use it to build composite keys — e.g.
+// the gateway's routing key over (model, row₀, row₁, …) — where any
+// single component changing must change the key.
+func Combine(acc, h uint64) uint64 {
+	return (acc ^ mix64(h)) * hashPrime
+}

@@ -1,0 +1,57 @@
+package predcache
+
+import "testing"
+
+// TestHashStringSpreads pins the routing-key helper: deterministic,
+// sensitive to every character, and distinct across realistic inputs
+// (model names, replica addresses).
+func TestHashStringSpreads(t *testing.T) {
+	if HashString("lre") != HashString("lre") {
+		t.Fatal("HashString is not deterministic")
+	}
+	inputs := []string{
+		"", "lre", "lrE", "nns", "treeb",
+		"127.0.0.1:8091", "127.0.0.1:8092", "127.0.0.1:9081",
+		"replica-0", "replica-1",
+	}
+	seen := map[uint64]string{}
+	for _, s := range inputs {
+		h := HashString(s)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("HashString collision: %q and %q both hash to %#x", prev, s, h)
+		}
+		seen[h] = s
+	}
+}
+
+// TestCombineComponentSensitivity pins the composite-key property the
+// gateway relies on: with every other component fixed, changing any one
+// component changes the combined key (Combine is bijective in each
+// argument), and composition order matters.
+func TestCombineComponentSensitivity(t *testing.T) {
+	model := HashString("lre")
+	rowA := HashRow([]float64{1, 2, 3})
+	rowB := HashRow([]float64{1, 2, 4})
+
+	keyA := Combine(model, rowA)
+	keyB := Combine(model, rowB)
+	if keyA == keyB {
+		t.Fatal("changing the row component did not change the combined key")
+	}
+	if Combine(HashString("nns"), rowA) == keyA {
+		t.Fatal("changing the model component did not change the combined key")
+	}
+	if Combine(rowA, model) == keyA && rowA != model {
+		t.Fatal("Combine ignores argument order")
+	}
+	// Bijectivity in the second argument: distinct h values cannot
+	// collide under a fixed accumulator.
+	seen := map[uint64]uint64{}
+	for h := uint64(0); h < 512; h++ {
+		k := Combine(model, h)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("Combine(acc, %d) == Combine(acc, %d)", h, prev)
+		}
+		seen[k] = h
+	}
+}
