@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-serve bench-diff bench-figures e2e gateway chaos soak coverage
+.PHONY: check build test race vet bench bench-serve bench-active bench-diff bench-figures e2e gateway chaos soak coverage
 
 check: build vet test race
 
@@ -41,14 +41,29 @@ bench-serve:
 	$(GO) run ./cmd/benchjson -o BENCH_8.json < bench.out.tmp
 	@rm -f bench.out.tmp
 
-# Perf-regression gate: re-run the serving-cache benchmarks and diff
-# them against the committed BENCH_8.json. ns/op gets a 4x tolerance
-# (CI hardware varies); allocs/op gets none, and the cached path's
-# 0 allocs/op is an exact pin. An intended regression is waived by
-# regenerating the baseline (`make bench-serve`) and committing it.
+# Active-learning acquisition benchmarks → BENCH_10.json: the chunked
+# pool-scoring hot path (which must report 0 allocs/op — the scratch is
+# worker-local and growth-only) and one end-to-end batch acquisition per
+# registered strategy over a 2048-point pool. No external baseline; the
+# committed snapshot is the regression reference bench-diff judges by.
+bench-active:
+	$(GO) test -run xxx -bench 'Acquire|ScoreChunk' -benchmem -count=2 ./internal/active > bench.out.tmp
+	$(GO) run ./cmd/benchjson -o BENCH_10.json < bench.out.tmp
+	@rm -f bench.out.tmp
+
+# Perf-regression gate: re-run the serving-cache and acquisition
+# benchmarks and diff them against the committed BENCH_8.json /
+# BENCH_10.json. ns/op gets a 4x tolerance (CI hardware varies);
+# allocs/op gets none, so the cached-predict and score-chunk paths'
+# 0 allocs/op are exact pins. An intended regression is waived by
+# regenerating the baseline (`make bench-serve` / `make bench-active`)
+# and committing it.
 bench-diff:
 	$(GO) test -run xxx -bench 'CachedPredict|UncachedPredict' -benchmem -count=2 ./internal/serve > bench.out.tmp
 	$(GO) run ./cmd/benchdiff -baseline BENCH_8.json < bench.out.tmp
+	@rm -f bench.out.tmp
+	$(GO) test -run xxx -bench 'Acquire|ScoreChunk' -benchmem -count=2 ./internal/active > bench.out.tmp
+	$(GO) run ./cmd/benchdiff -baseline BENCH_10.json < bench.out.tmp
 	@rm -f bench.out.tmp
 
 # End-to-end smoke of the serving daemon: train → serve → curl → drain,

@@ -4,10 +4,16 @@
 // cross-validation, pick the best, and report how well the chosen model
 // predicts the whole space.
 //
+// With -active the one-shot random sample becomes the seed of a
+// model-guided active-learning loop: the committee of requested models
+// retrains every round and the acquisition strategy picks which design
+// points to simulate next, at the same total budget accounting.
+//
 // Usage:
 //
 //	dse -bench mcf -frac 0.01
 //	dse -bench gcc -frac 0.03 -models LR-B,NN-E,NN-S -seed 7
+//	dse -bench mcf -frac 0.01 -active -rounds 4 -batch 12 -acquire committee
 package main
 
 import (
@@ -35,6 +41,10 @@ func main() {
 	epochs := flag.Float64("epochs", 1.0, "neural epoch scale")
 	traceLen := flag.Int("tracelen", 0, "trace length override")
 	stride := flag.Int("stride", 0, "design-space stride (0 = full space)")
+	activeRun := flag.Bool("active", false, "run the model-guided active-learning loop instead of one-shot sampling")
+	rounds := flag.Int("rounds", 4, "active: acquisition rounds after the initial sample")
+	batch := flag.Int("batch", 0, "active: design points acquired per round (0 = initial sample / rounds)")
+	acquire := flag.String("acquire", "committee", "active: acquisition strategy (see -list)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	verbose := flag.Bool("v", false, "log per-task progress (durations, folds, epochs)")
 	report := flag.String("report", "", "write a machine-readable JSON RunReport to this file")
@@ -68,6 +78,7 @@ func main() {
 			names = append(names, k.String())
 		}
 		fmt.Println("models:", strings.Join(names, ", "))
+		fmt.Println("acquisition strategies:", strings.Join(perfpred.AcquireStrategies(), ", "))
 		return
 	}
 
@@ -86,13 +97,45 @@ func main() {
 	simulated := time.Now()
 	fmt.Printf("space: %d configurations; sampling %.1f%%\n", full.Len(), 100**frac)
 
-	res, err := perfpred.RunSampledDSE(ctx, full, *frac, kinds, perfpred.TrainConfig{
+	cfg := perfpred.TrainConfig{
 		Seed: *seed, Workers: *workers, EpochScale: *epochs, Hook: hook,
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+	var res *perfpred.SampledDSEResult
+	var ares *perfpred.ActiveDSEResult
+	if *activeRun {
+		ares, err = perfpred.RunActiveDSE(ctx, full, *frac, kinds, cfg, perfpred.ActiveOptions{
+			Rounds: *rounds, Batch: *batch, Acquire: *acquire,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = &ares.SampledDSEResult
+	} else {
+		res, err = perfpred.RunSampledDSE(ctx, full, *frac, kinds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	finished := time.Now()
+
+	if ares != nil {
+		fmt.Printf("active: %s acquisition, %d initial + %d rounds\n",
+			ares.Strategy, ares.InitialSize, len(ares.Rounds))
+		atw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(atw, "round\tlabeled\tacquired\tcommittee error (true MAPE)")
+		for _, r := range ares.Rounds {
+			var parts []string
+			for _, c := range r.Committee {
+				parts = append(parts, fmt.Sprintf("%s %.2f%%", c.Name, c.MAPE))
+			}
+			fmt.Fprintf(atw, "%d\t%d\t+%d\t%s\n",
+				r.Round, r.LabeledBefore, r.Acquired, strings.Join(parts, "  "))
+		}
+		if err := atw.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "model\testimated(mean)\testimated(max)\ttrue error")
@@ -107,7 +150,7 @@ func main() {
 		res.Selected, res.SelectedTrueMAPE, res.SampleSize, full.Len())
 
 	if *report != "" {
-		rep := perfpred.BuildDSEReport(res, perfpred.ReportMeta{
+		meta := perfpred.ReportMeta{
 			Command:    "dse",
 			Target:     *bench,
 			Seed:       *seed,
@@ -119,7 +162,13 @@ func main() {
 				SimulateSeconds: simulated.Sub(start).Seconds(),
 				ModelSeconds:    finished.Sub(simulated).Seconds(),
 			},
-		}, rec)
+		}
+		var rep *perfpred.RunReport
+		if ares != nil {
+			rep = perfpred.BuildActiveDSEReport(ares, meta, rec)
+		} else {
+			rep = perfpred.BuildDSEReport(res, meta, rec)
+		}
 		if err := rep.WriteFile(*report); err != nil {
 			log.Fatal(err)
 		}

@@ -75,6 +75,38 @@ func BuildDSEReport(res *SampledDSEResult, meta ReportMeta, rec *obs.Recorder) *
 	return rep
 }
 
+// BuildActiveDSEReport assembles the RunReport of an active-learning
+// design-space exploration run: the sampled-DSE sections (so the same
+// readers and regression fixtures work at equal budget) plus the
+// acquisition trajectory in the Active section. rec may be nil.
+func BuildActiveDSEReport(res *ActiveDSEResult, meta ReportMeta, rec *obs.Recorder) *obs.RunReport {
+	rep := BuildDSEReport(&res.SampledDSEResult, meta, rec)
+	act := &obs.ActiveStats{
+		Strategy:    res.Strategy,
+		InitialSize: res.InitialSize,
+		FinalSize:   res.SampleSize,
+		PoolSize:    res.Complement.Len(),
+		Rounds:      make([]obs.ActiveRound, len(res.Rounds)),
+	}
+	for i, r := range res.Rounds {
+		round := obs.ActiveRound{
+			Round:          r.Round,
+			LabeledBefore:  r.LabeledBefore,
+			PoolBefore:     r.PoolBefore,
+			Acquired:       r.Acquired,
+			TrainSeconds:   r.TrainSeconds,
+			AcquireSeconds: r.AcquireSeconds,
+			Committee:      make([]obs.CommitteeError, len(r.Committee)),
+		}
+		for j, c := range r.Committee {
+			round.Committee[j] = obs.CommitteeError{Kind: c.Name, TrueMAPE: c.MAPE}
+		}
+		act.Rounds[i] = round
+	}
+	rep.Active = act
+	return rep
+}
+
 // BuildChronoReport assembles the RunReport of a chronological
 // prediction run. rec may be nil.
 func BuildChronoReport(res *ChronoResult, trainSize, futureSize int, meta ReportMeta, rec *obs.Recorder) *obs.RunReport {

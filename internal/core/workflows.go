@@ -44,6 +44,14 @@ type SampledDSEResult struct {
 	Selected ModelKind
 	// SelectedTrueMAPE is the true error of the selected model.
 	SelectedTrueMAPE float64
+	// SampleIndices are the simulated rows' indices into the full space,
+	// in the order they were drawn (for active DSE: initial sample first,
+	// then each round's acquisitions in acquisition order).
+	SampleIndices []int
+	// Complement is the unsampled remainder of the space, in original
+	// order, sharing rows with the full dataset — the initial unlabeled
+	// pool the active-learning loop acquires from.
+	Complement *dataset.Dataset
 }
 
 // RunSampledDSE performs the paper's sampled design-space exploration:
@@ -60,7 +68,11 @@ func RunSampledDSE(ctx context.Context, full *dataset.Dataset, fraction float64,
 	if len(kinds) == 0 {
 		return nil, errors.New("core: no model kinds requested")
 	}
-	sample, _, err := full.SampleFraction(stat.NewRand(stat.DeriveSeed(cfg.Seed, 1)), fraction)
+	sample, idx, err := full.SampleFraction(stat.NewRand(stat.DeriveSeed(cfg.Seed, 1)), fraction)
+	if err != nil {
+		return nil, err
+	}
+	complement, _, err := full.Complement(idx)
 	if err != nil {
 		return nil, err
 	}
@@ -69,9 +81,11 @@ func RunSampledDSE(ctx context.Context, full *dataset.Dataset, fraction float64,
 		return nil, err
 	}
 	res := &SampledDSEResult{
-		Fraction:   fraction,
-		SampleSize: sample.Len(),
-		Reports:    reports,
+		Fraction:      fraction,
+		SampleSize:    sample.Len(),
+		Reports:       reports,
+		SampleIndices: idx,
+		Complement:    complement,
 	}
 	sel, err := selectByEstimate(reports)
 	if err != nil {

@@ -228,6 +228,34 @@ func (d *Dataset) SampleFraction(r *rand.Rand, frac float64) (*Dataset, []int, e
 	return sub, idx, err
 }
 
+// Complement returns the records NOT at the given indices, in original
+// dataset order, plus their indices. Rows are shared, not copied. It is
+// the counterpart of SampleFraction: the sample's complement is the
+// unlabeled pool an active-learning loop draws from. Out-of-range
+// indices are rejected; duplicates in idx are tolerated (each row is
+// excluded at most once).
+func (d *Dataset) Complement(idx []int) (*Dataset, []int, error) {
+	n := d.Len()
+	taken := make([]bool, n)
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			return nil, nil, fmt.Errorf("dataset: complement index %d out of range [0,%d)", i, n)
+		}
+		taken[i] = true
+	}
+	rest := make([]int, 0, n-len(idx))
+	for i := 0; i < n; i++ {
+		if !taken[i] {
+			rest = append(rest, i)
+		}
+	}
+	sub, err := d.Subset(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, rest, nil
+}
+
 // SplitHalf randomly partitions the dataset into two halves (sizes n/2 and
 // n-n/2). Clementine's model-building step "randomly divides the training
 // data into two equal sets, using half of the data to train the model and

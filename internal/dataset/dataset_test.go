@@ -231,3 +231,64 @@ func TestSampleDeterminismProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestComplement(t *testing.T) {
+	d := New(testSchema(t))
+	fill(t, d, 10)
+	rest, restIdx, err := d.Complement([]int{7, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := []int{0, 1, 3, 5, 6, 8, 9}
+	if len(restIdx) != len(wantIdx) || rest.Len() != len(wantIdx) {
+		t.Fatalf("complement has %d rows (idx %v), want %v", rest.Len(), restIdx, wantIdx)
+	}
+	for k, want := range wantIdx {
+		if restIdx[k] != want {
+			t.Errorf("restIdx[%d] = %d, want %d", k, restIdx[k], want)
+		}
+		if rest.Target(k) != d.Target(want) {
+			t.Errorf("complement row %d target %v, want row %d's %v", k, rest.Target(k), want, d.Target(want))
+		}
+	}
+
+	// Duplicates in idx exclude each row at most once.
+	rest2, _, err := d.Complement([]int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest2.Len() != 9 {
+		t.Fatalf("duplicate-index complement has %d rows, want 9", rest2.Len())
+	}
+
+	// Out-of-range indices are rejected.
+	if _, _, err := d.Complement([]int{10}); err == nil {
+		t.Fatal("out-of-range complement index: want error")
+	}
+	if _, _, err := d.Complement([]int{-1}); err == nil {
+		t.Fatal("negative complement index: want error")
+	}
+
+	// SampleFraction + Complement partition the dataset exactly.
+	_, idx, err := d.SampleFraction(rand.New(rand.NewSource(5)), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, restIdx, err = d.Complement(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		seen[i] = true
+	}
+	for _, i := range restIdx {
+		if seen[i] {
+			t.Fatalf("index %d in both sample and complement", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != d.Len() {
+		t.Fatalf("sample+complement cover %d of %d rows", len(seen), d.Len())
+	}
+}

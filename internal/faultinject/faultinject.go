@@ -73,6 +73,12 @@ const (
 	// forced error fails the probe as if the replica were unreachable,
 	// driving ejection without the replica ever misbehaving.
 	GatewayHealthProbe
+	// ActiveAcquireRound fires at the top of each active-learning
+	// acquisition round, before the committee is retrained: latency
+	// delays the round, a forced error fails it — the loop aborts with
+	// the round's error, which a chaos harness asserts leaves the
+	// already-labeled budget accounting intact.
+	ActiveAcquireRound
 	numPoints
 )
 
@@ -99,6 +105,8 @@ func (p Point) String() string {
 		return "gateway.hedge"
 	case GatewayHealthProbe:
 		return "gateway.health_probe"
+	case ActiveAcquireRound:
+		return "active.acquire_round"
 	default:
 		return fmt.Sprintf("Point(%d)", int(p))
 	}

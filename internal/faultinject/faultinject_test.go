@@ -169,6 +169,7 @@ func TestPointNamesStable(t *testing.T) {
 		GatewayRoute:       "gateway.route",
 		GatewayHedge:       "gateway.hedge",
 		GatewayHealthProbe: "gateway.health_probe",
+		ActiveAcquireRound: "active.acquire_round",
 	}
 	pts := Points()
 	if len(pts) != len(want) {

@@ -32,6 +32,72 @@ type ModelResult struct {
 	StdAPE float64 `json:"std_ape"`
 }
 
+// CommitteeError is one committee member's measured error at one
+// active-learning round — a learning-curve point.
+type CommitteeError struct {
+	// Kind is the member's model label (e.g. "NN-Q", "TREE-B").
+	Kind string `json:"kind"`
+	// TrueMAPE is the member's measured full-space error that round.
+	TrueMAPE float64 `json:"true_mape"`
+}
+
+// ActiveRound is one acquisition round of an active-learning run.
+type ActiveRound struct {
+	// Round is the 1-based round index.
+	Round int `json:"round"`
+	// LabeledBefore and PoolBefore are the set sizes entering the round.
+	LabeledBefore int `json:"labeled_before"`
+	PoolBefore    int `json:"pool_before"`
+	// Acquired is how many design points the round moved pool → labeled.
+	Acquired int `json:"acquired"`
+	// TrainSeconds and AcquireSeconds break down the round's wall clock
+	// into committee training and acquisition scoring.
+	TrainSeconds   float64 `json:"train_seconds"`
+	AcquireSeconds float64 `json:"acquire_seconds"`
+	// Committee is the round's trained members' error trajectory.
+	Committee []CommitteeError `json:"committee,omitempty"`
+}
+
+// ActiveStats summarizes an active-learning DSE run: the acquisition
+// strategy, the budget split (initial random sample vs. acquired), and
+// the per-round learning-curve trajectory.
+type ActiveStats struct {
+	// Strategy names the acquisition policy ("committee", "diversity",
+	// "ei", or any future registered name).
+	Strategy string `json:"strategy"`
+	// InitialSize is the random seed sample, FinalSize the total labeled
+	// budget after all rounds, PoolSize the remaining unlabeled points.
+	InitialSize int `json:"initial_size"`
+	FinalSize   int `json:"final_size"`
+	PoolSize    int `json:"pool_size"`
+	// Rounds holds one entry per executed acquisition round.
+	Rounds []ActiveRound `json:"rounds,omitempty"`
+}
+
+// Validate checks the section's structural invariants.
+func (a *ActiveStats) Validate() error {
+	if a.Strategy == "" {
+		return errors.New("obs: active stats have no strategy")
+	}
+	if a.InitialSize < 0 || a.FinalSize < a.InitialSize || a.PoolSize < 0 {
+		return errors.New("obs: active stats sizes inconsistent")
+	}
+	for _, r := range a.Rounds {
+		if !isFinite(r.TrainSeconds) || !isFinite(r.AcquireSeconds) {
+			return fmt.Errorf("obs: active round %d has non-finite timing", r.Round)
+		}
+		for _, c := range r.Committee {
+			if c.Kind == "" {
+				return fmt.Errorf("obs: active round %d committee entry has no kind", r.Round)
+			}
+			if !isFinite(c.TrueMAPE) {
+				return fmt.Errorf("obs: active round %d committee %s has non-finite error", r.Round, c.Kind)
+			}
+		}
+	}
+	return nil
+}
+
 // WallClock is a coarse wall-clock breakdown of a run. Fields are
 // seconds; phases absent from a run stay zero.
 type WallClock struct {
@@ -85,6 +151,10 @@ type RunReport struct {
 	Best         string  `json:"best,omitempty"`
 	BestTrueMAPE float64 `json:"best_true_mape,omitempty"`
 
+	// Active is the acquisition trajectory of an active-learning DSE run
+	// (absent for one-shot random sampling).
+	Active *ActiveStats `json:"active,omitempty"`
+
 	// WallClock is the run's coarse timing breakdown.
 	WallClock WallClock `json:"wall_clock"`
 	// Execution is the engine-level statistics aggregated by a Recorder,
@@ -124,6 +194,11 @@ func (r *RunReport) Validate() error {
 	} {
 		if !isFinite(v) {
 			return errors.New("obs: report has non-finite numeric field")
+		}
+	}
+	if r.Active != nil {
+		if err := r.Active.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -107,3 +107,76 @@ func TestWriteJSONIsIndented(t *testing.T) {
 		t.Errorf("report JSON not indented:\n%s", buf.String())
 	}
 }
+
+func sampleActive() *ActiveStats {
+	return &ActiveStats{
+		Strategy:    "committee",
+		InitialSize: 45,
+		FinalSize:   90,
+		PoolSize:    810,
+		Rounds: []ActiveRound{
+			{
+				Round: 1, LabeledBefore: 45, PoolBefore: 855, Acquired: 15,
+				TrainSeconds: 0.5, AcquireSeconds: 0.1,
+				Committee: []CommitteeError{{Kind: "NN-Q", TrueMAPE: 8.6}, {Kind: "LR-B", TrueMAPE: 19.6}},
+			},
+			{
+				Round: 2, LabeledBefore: 60, PoolBefore: 840, Acquired: 15,
+				TrainSeconds: 0.6, AcquireSeconds: 0.1,
+				Committee: []CommitteeError{{Kind: "NN-Q", TrueMAPE: 6.5}, {Kind: "LR-B", TrueMAPE: 19.4}},
+			},
+		},
+	}
+}
+
+func TestActiveReportRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	rep.Active = sampleActive()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Errorf("active round trip mismatch:\nwrote %+v\nread  %+v", rep.Active, got.Active)
+	}
+	// The section is omitempty: a sampled run's JSON must not mention it.
+	buf.Reset()
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"active"`) {
+		t.Error("sampled-DSE report serialized an active section")
+	}
+}
+
+func TestActiveStatsValidate(t *testing.T) {
+	if err := sampleActive().Validate(); err != nil {
+		t.Errorf("valid active stats rejected: %v", err)
+	}
+	cases := map[string]func(*ActiveStats){
+		"no strategy":     func(a *ActiveStats) { a.Strategy = "" },
+		"negative size":   func(a *ActiveStats) { a.InitialSize = -1 },
+		"shrinking run":   func(a *ActiveStats) { a.FinalSize = a.InitialSize - 1 },
+		"negative pool":   func(a *ActiveStats) { a.PoolSize = -1 },
+		"NaN timing":      func(a *ActiveStats) { a.Rounds[0].TrainSeconds = math.NaN() },
+		"Inf timing":      func(a *ActiveStats) { a.Rounds[1].AcquireSeconds = math.Inf(1) },
+		"anonymous kind":  func(a *ActiveStats) { a.Rounds[0].Committee[0].Kind = "" },
+		"non-finite MAPE": func(a *ActiveStats) { a.Rounds[1].Committee[1].TrueMAPE = math.NaN() },
+	}
+	for name, mutate := range cases {
+		a := sampleActive()
+		mutate(a)
+		if a.Validate() == nil {
+			t.Errorf("%s: Validate accepted", name)
+		}
+		rep := sampleReport()
+		rep.Active = a
+		if rep.Validate() == nil {
+			t.Errorf("%s: RunReport.Validate accepted the bad active section", name)
+		}
+	}
+}

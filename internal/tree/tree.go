@@ -343,6 +343,35 @@ func (m *Model) PredictAllInto(dst []float64, x [][]float64) {
 	}
 }
 
+// PredictSpreadInto writes, for every row of x, the ensemble-mean
+// prediction into mean and the per-tree spread — the population standard
+// deviation of the member trees' predictions, in model-space units —
+// into spread. The spread is the ensemble's internal disagreement, the
+// uncertainty signal active-learning acquisition ranks unlabeled
+// candidates by. Like PredictAllInto the walk needs no scratch and the
+// call never allocates; mean[i] is bit-identical to Predict(x[i]).
+func (m *Model) PredictSpreadInto(mean, spread []float64, x [][]float64) {
+	if len(mean) != len(x) || len(spread) != len(x) {
+		panic("tree: PredictSpreadInto mean/spread/x length mismatch")
+	}
+	k := float64(len(m.trees))
+	for i, row := range x {
+		sum, sum2 := 0.0, 0.0
+		for _, t := range m.trees {
+			v := predictTree(t, row)
+			sum += v
+			sum2 += v * v
+		}
+		mu := sum / k
+		va := sum2/k - mu*mu
+		if va < 0 { // guard the subtraction's rounding noise
+			va = 0
+		}
+		mean[i] = mu
+		spread[i] = math.Sqrt(va)
+	}
+}
+
 // NumInputs returns the input width the model expects.
 func (m *Model) NumInputs() int { return m.numInputs }
 

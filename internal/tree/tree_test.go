@@ -257,3 +257,60 @@ func TestImportanceFiniteGuard(t *testing.T) {
 		t.Fatal("truncated importance accepted")
 	}
 }
+
+func TestPredictSpreadIntoMatchesPredict(t *testing.T) {
+	x, _ := synthGrid(64, 4)
+	m := fitQuick(t, Config{Trees: 8, Seed: 1})
+	mean := make([]float64, len(x))
+	spread := make([]float64, len(x))
+	m.PredictSpreadInto(mean, spread, x)
+	for i, row := range x {
+		if mean[i] != m.Predict(row) {
+			t.Fatalf("row %d: spread-path mean %v != Predict %v", i, mean[i], m.Predict(row))
+		}
+		// Cross-check the spread against a two-pass population deviation.
+		vals := make([]float64, len(m.trees))
+		mu := 0.0
+		for j, tr := range m.trees {
+			vals[j] = predictTree(tr, row)
+			mu += vals[j]
+		}
+		mu /= float64(len(vals))
+		va := 0.0
+		for _, v := range vals {
+			va += (v - mu) * (v - mu)
+		}
+		want := math.Sqrt(va / float64(len(vals)))
+		if math.Abs(spread[i]-want) > 1e-9 {
+			t.Fatalf("row %d: spread %v, want %v", i, spread[i], want)
+		}
+		if spread[i] < 0 {
+			t.Fatalf("row %d: negative spread %v", i, spread[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() { m.PredictSpreadInto(mean, spread, x) })
+	if allocs != 0 {
+		t.Fatalf("PredictSpreadInto allocates %v/op, want 0", allocs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mean/spread/x length mismatch did not panic")
+		}
+	}()
+	m.PredictSpreadInto(make([]float64, 1), spread, x)
+}
+
+// TestSingleTreeSpreadIsZero: an ensemble of one tree cannot disagree
+// with itself.
+func TestSingleTreeSpreadIsZero(t *testing.T) {
+	x, _ := synthGrid(32, 4)
+	m := fitQuick(t, Config{Trees: 1, Seed: 3})
+	mean := make([]float64, len(x))
+	spread := make([]float64, len(x))
+	m.PredictSpreadInto(mean, spread, x)
+	for i := range spread {
+		if spread[i] != 0 {
+			t.Fatalf("row %d: single-tree spread %v, want 0", i, spread[i])
+		}
+	}
+}

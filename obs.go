@@ -43,6 +43,13 @@ func BuildDSEReport(res *SampledDSEResult, meta ReportMeta, rec *Recorder) *RunR
 	return core.BuildDSEReport(res, meta, rec)
 }
 
+// BuildActiveDSEReport assembles the RunReport of an active-learning
+// design-space exploration run — the sampled-DSE sections plus the
+// acquisition trajectory; rec may be nil.
+func BuildActiveDSEReport(res *ActiveDSEResult, meta ReportMeta, rec *Recorder) *RunReport {
+	return core.BuildActiveDSEReport(res, meta, rec)
+}
+
 // BuildChronoReport assembles the RunReport of a chronological prediction
 // run; rec may be nil.
 func BuildChronoReport(res *ChronoResult, trainSize, futureSize int, meta ReportMeta, rec *Recorder) *RunReport {
